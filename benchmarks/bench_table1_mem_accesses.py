@@ -1,0 +1,82 @@
+"""Table 1: dynamic memory accesses per packet.
+
+For each application and each cumulative optimization level the paper
+reports per-packet accesses split into packet-handling (Scratch / SRAM /
+DRAM) and application (Scratch / SRAM) categories. We measure the same
+split with the simulator's access counters over a steady-state window.
+
+Expected shape (paper): counts fall monotonically as optimizations are
+enabled; PAC produces the largest drop in packet SRAM/DRAM accesses;
+SWC removes application SRAM accesses for L3-Switch and MPLS but leaves
+Firewall unchanged.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rts.system import run_on_simulator
+
+# The paper's Table 1 rows, bottom-up: BASE, +O1, +PAC, +PHR, +SWC
+# (-O2 and SOAR do not change access counts and are omitted there).
+LEVELS = ["BASE", "O1", "PAC", "PHR", "SWC"]
+APPS = ["l3switch", "firewall", "mpls"]
+
+HEADER = "%-9s %-5s | %8s %8s %8s | %8s %8s | %7s" % (
+    "app", "level", "pktScr", "pktSRAM", "pktDRAM", "appScr", "appSRAM", "total")
+
+
+def measure_profiles(compile_cache):
+    rows = {}
+    for app in APPS:
+        for level in LEVELS:
+            result, trace = compile_cache(app, level)
+            run = run_on_simulator(result, trace, n_mes=2,
+                                   warmup_packets=60, measure_packets=250)
+            rows[(app, level)] = run.access_profile
+    return rows
+
+
+def test_table1_memory_accesses(compile_cache, report, benchmark):
+    rows = benchmark.pedantic(lambda: measure_profiles(compile_cache),
+                              rounds=1, iterations=1)
+
+    lines = ["Table 1: dynamic memory accesses per packet", HEADER]
+    for app in APPS:
+        for level in LEVELS:
+            p = rows[(app, level)]
+            lines.append("%-9s %-5s | %8.1f %8.1f %8.1f | %8.1f %8.1f | %7.1f" % (
+                app, level, p.pkt_scratch, p.pkt_sram, p.pkt_dram,
+                p.app_scratch, p.app_sram, p.total))
+        lines.append("-" * len(HEADER))
+    report("table1_mem_accesses", lines)
+
+    for app in APPS:
+        base = rows[(app, "BASE")]
+        o1 = rows[(app, "O1")]
+        pac = rows[(app, "PAC")]
+        phr = rows[(app, "PHR")]
+        swc = rows[(app, "SWC")]
+
+        # Monotone improvement along the cumulative levels.
+        assert o1.total <= base.total + 0.5, app
+        assert pac.total < o1.total, app
+        assert phr.total <= pac.total + 0.5, app
+        assert swc.total <= phr.total + 0.5, app
+
+        # PAC's packet-access reduction is the largest single step.
+        pac_gain = (o1.pkt_sram + o1.pkt_dram) - (pac.pkt_sram + pac.pkt_dram)
+        assert pac_gain >= 0.25 * (o1.pkt_sram + o1.pkt_dram), app
+
+        # Roughly two scratch ring operations per packet at every level
+        # (dispatch get + tx put), as in the paper's constant 2.0 column.
+        assert 1.5 <= swc.pkt_scratch <= 4.0, app
+
+    # SWC: app-SRAM relief for L3-Switch and MPLS; Firewall unchanged.
+    for app in ("l3switch", "mpls"):
+        assert rows[(app, "SWC")].app_sram < rows[(app, "PHR")].app_sram, app
+    fw_phr, fw_swc = rows[("firewall", "PHR")], rows[("firewall", "SWC")]
+    assert abs(fw_swc.app_sram - fw_phr.app_sram) < 0.5
+
+    # Fully optimized L3-Switch reaches the paper's ~2 DRAM accesses.
+    assert rows[("l3switch", "SWC")].pkt_dram <= 3.0

@@ -1,0 +1,55 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Each benchmark regenerates one table or figure from the paper's
+evaluation (section 6) on the simulated IXP2400 and writes its rows to
+``benchmarks/results/<name>.txt`` (also echoed to stdout) so the numbers
+survive pytest's output capture.
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+
+from repro.apps import get_app
+from repro.compiler import compile_baker
+from repro.options import options_for
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+TRACE_PACKETS = 200
+TRACE_SEED = 5
+
+
+@pytest.fixture(scope="session")
+def compile_cache():
+    """(app, level) -> (CompileResult, trace); compiled once per session."""
+    cache = {}
+
+    def get(app_name: str, level: str):
+        key = (app_name, level)
+        if key not in cache:
+            app = get_app(app_name)
+            trace = app.make_trace(TRACE_PACKETS, seed=TRACE_SEED)
+            result = compile_baker(app.source, options_for(level), trace)
+            cache[key] = (result, trace)
+        return cache[key]
+
+    return get
+
+
+@pytest.fixture(scope="session")
+def report():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def write(name: str, lines):
+        text = "\n".join(lines)
+        path = os.path.join(RESULTS_DIR, name + ".txt")
+        with open(path, "w") as fh:
+            fh.write(text + "\n")
+        print("\n" + text)
+        return path
+
+    return write

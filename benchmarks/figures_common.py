@@ -1,0 +1,61 @@
+"""Shared driver for the Figures 13-15 forwarding-rate benchmarks."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.options import LEVEL_ORDER
+from repro.rts.system import run_on_simulator
+
+ME_COUNTS = [1, 2, 3, 4, 5, 6]
+
+
+def run_figure(app_name: str, compile_cache) -> Dict[str, List[float]]:
+    """level -> [rate at 1..6 MEs] (Gbps)."""
+    series: Dict[str, List[float]] = {}
+    for level in LEVEL_ORDER:
+        result, trace = compile_cache(app_name, level)
+        rates = []
+        for n_mes in ME_COUNTS:
+            run = run_on_simulator(result, trace, n_mes=n_mes,
+                                   warmup_packets=60, measure_packets=220)
+            rates.append(round(run.forwarding_gbps, 3))
+        series[level] = rates
+    return series
+
+
+def assert_figure_shape(app_name: str, series: Dict[str, List[float]],
+                        report, report_name: str,
+                        best_at_6_min: float,
+                        scale_4_vs_2: float = 1.15) -> None:
+    lines = ["%s: forwarding rate (Gbps) vs MEs enabled" % report_name,
+             "MEs:   " + "  ".join("%6d" % n for n in ME_COUNTS)]
+    for level in LEVEL_ORDER:
+        lines.append("%-5s  " % level
+                     + "  ".join("%6.2f" % r for r in series[level]))
+    report(report_name, lines)
+
+    base, o1 = series["BASE"], series["O1"]
+    pac, soar = series["PAC"], series["SOAR"]
+    best = series["SWC"]
+
+    # BASE flattens almost immediately (memory-bound): little gain past
+    # two MEs.
+    assert base[5] <= base[1] * 1.45, "BASE should be flat (memory-bound)"
+
+    # PAC is a substantial improvement over -O1 at full ME count.
+    assert pac[5] >= 1.3 * o1[5], "PAC should be the major jump"
+
+    # Cumulative levels never regress much at 6 MEs.
+    order = ["BASE", "O1", "O2", "PAC", "SOAR", "PHR", "SWC"]
+    for prev, cur in zip(order, order[1:]):
+        assert series[cur][5] >= series[prev][5] * 0.9, (prev, cur)
+
+    # The fully optimized configuration keeps scaling past two MEs
+    # (BASE cannot), and reaches the expected ceiling.
+    assert best[3] >= best[1] * scale_4_vs_2, "optimized code should scale with MEs"
+    assert best[5] >= best_at_6_min
+
+    # Rates never exceed the 3 Gbps offered load.
+    for level, rates in series.items():
+        assert max(rates) <= 3.05, level

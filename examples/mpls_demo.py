@@ -1,0 +1,60 @@
+"""MPLS walkthrough: label switching and why offsets resist SOAR.
+
+Shows the three label operations (swap/pop/push) flowing through the
+compiled pipeline, and queries the SOAR results to demonstrate the
+paper's Figure 9 point: with arbitrary label stacks, packet field
+offsets cannot be resolved statically, so MPLS keeps the generic
+(dynamic-offset) access paths.
+
+Run:  python examples/mpls_demo.py
+"""
+
+from repro.apps import get_app
+from repro.apps.tables import MPLS_OP_POP, MPLS_OP_PUSH, MPLS_OP_SWAP
+from repro.baker import parse_and_check
+from repro.baker.lowering import lower_program
+from repro.compiler import compile_baker
+from repro.options import options_for
+from repro.profiler.interpreter import run_reference
+from repro.rts.system import run_on_simulator
+
+OP_NAMES = {MPLS_OP_SWAP: "swap", MPLS_OP_POP: "pop", MPLS_OP_PUSH: "push"}
+
+
+def main() -> None:
+    app = get_app("mpls")
+    trace = app.make_trace(250, seed=9)
+
+    print("== incoming label map (ILM)")
+    for label, (op, out_label, nh) in sorted(app.config.ilm.items()):
+        print("  label %4d -> %-4s out %4d nexthop %d"
+              % (label, OP_NAMES[op], out_label, nh))
+
+    print("\n== reference run")
+    ref = run_reference(lower_program(parse_and_check(app.source)), trace)
+    mpls_out = sum(1 for p in ref.tx if p.payload()[12:14] == b"\x88\x47")
+    ip_out = sum(1 for p in ref.tx if p.payload()[12:14] == b"\x08\x00")
+    print("  %d in -> %d out (%d still labeled, %d egressed as IPv4 after a "
+          "final pop)" % (ref.profile.packets_in, ref.profile.packets_out,
+                          mpls_out, ip_out))
+
+    print("\n== SOAR on MPLS (the Figure 9 effect)")
+    result = compile_baker(app.source, options_for("SWC"), trace)
+    soar = result.soar_result
+    print("  statically resolved packet accesses: %d of %d (%.0f%%)"
+          % (soar.resolved_accesses, soar.total_accesses,
+             100 * soar.resolution_rate))
+    print("  (the label-stack loop makes the head offset join to 'unknown';"
+          " compare ~100% for L3-Switch)")
+    print("  SWC cached structures:", result.swc_result.cached_names())
+
+    run = run_on_simulator(result, trace, n_mes=6, warmup_packets=60,
+                           measure_packets=220)
+    print("\n== simulated forwarding rate at 6 MEs: %.2f Gbps" % run.forwarding_gbps)
+    p = run.access_profile
+    print("   accesses/packet: pkt sram %.1f, pkt dram %.1f (dynamic-offset"
+          " paths pay extra metadata reads)" % (p.pkt_sram, p.pkt_dram))
+
+
+if __name__ == "__main__":
+    main()

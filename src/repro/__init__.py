@@ -1,0 +1,15 @@
+"""repro: a from-scratch reproduction of *Shangri-La: Achieving High
+Performance from Compiled Network Applications while Enabling Ease of
+Programming* (PLDI 2005).
+
+Top-level API
+-------------
+- :func:`repro.compiler.compile_baker` — compile Baker source through the
+  full Shangri-La pipeline (profile, optimize, aggregate, generate ME code).
+- :mod:`repro.rts` — build and run a compiled program on the simulated
+  IXP2400 (``repro.rts.system.build_system``).
+- :mod:`repro.apps` — the paper's three benchmark applications (L3-Switch,
+  Firewall, MPLS) written in Baker, with table/trace generators.
+"""
+
+__version__ = "0.1.0"

@@ -1,0 +1,269 @@
+"""Aggregate formation: the heuristic of paper Figure 7.
+
+Starting from one aggregate per PPF, repeatedly:
+
+1. if one aggregate dominates execution time, consider duplicating it;
+2. otherwise merge the pair of aggregates joined by the most expensive
+   channel, provided the merge does not hurt throughput and the merged
+   code still fits an ME's instruction store;
+3. if nothing changed but there are still more aggregates than
+   processors, relax the throughput target and try again.
+
+Afterwards, aggregates that overflow the code store or are infrequently
+executed move to the XScale, and the remaining ME aggregates are
+duplicated across the available MEs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.aggregation.aggregate import (
+    Aggregate,
+    AggregationPlan,
+    aggregate_cost,
+    external_channels,
+)
+from repro.aggregation.throughput import (
+    CC_COST,
+    ME_IPS,
+    assign_mes,
+    packets_per_second_for_gbps,
+    system_throughput,
+)
+from repro.cg.codesize import estimate_closure
+from repro.ir import instructions as I
+from repro.ir.module import IRModule
+from repro.options import CompilerOptions
+from repro.profiler.stats import ProfileData
+
+# An aggregate handling less than this fraction of packets is control
+# plane and belongs on the XScale.
+INFREQUENT_RATE = 0.05
+
+# "EXEC_TIME(dom) >> EXEC_TIME(next_dom)" threshold.
+DOMINANCE_FACTOR = 2.0
+
+
+def form_aggregates(
+    mod: IRModule,
+    profile: ProfileData,
+    opts: CompilerOptions,
+    target_gbps: float = 2.5,
+    me_ips: float = ME_IPS,
+) -> AggregationPlan:
+    """Run Figure 7 and return the mapping plan (IR is not yet rewritten;
+    see :func:`apply_plan`)."""
+    aggregates = [
+        Aggregate(name=fn.name, ppfs=[fn.name]) for fn in mod.ppfs()
+    ]
+    target = packets_per_second_for_gbps(target_gbps)
+
+    def refresh(agg: Aggregate) -> None:
+        agg.cost = aggregate_cost(mod, profile, agg.members(), CC_COST)
+        agg.code_size = estimate_closure(mod, agg.ppfs, opts)
+
+    for agg in aggregates:
+        refresh(agg)
+
+    def hot(aggs: List[Aggregate]) -> List[Aggregate]:
+        return [a for a in aggs if _rate(profile, a) >= INFREQUENT_RATE]
+
+    done = False
+    guard = 0
+    while not done and guard < 10 * len(aggregates) + 50:
+        guard += 1
+        done = True
+
+        candidates = hot(aggregates)
+        # FIND_DOMINATING: the two costliest hot aggregates.
+        ranked = sorted(candidates, key=lambda a: a.cost, reverse=True)
+        if len(ranked) >= 2:
+            dom, next_dom = ranked[0], ranked[1]
+            if (
+                dom.cost >= DOMINANCE_FACTOR * max(next_dom.cost, 1e-9)
+                and _duplicate_improves(candidates, dom, opts, target, me_ips)
+            ):
+                dom.duplicate_hint += 1
+                done = False
+                continue
+
+        # FORM_PAIRS / SORT_BY_HIGHEST_CHANNEL_COST.
+        pairs = _connected_pairs(mod, profile, aggregates)
+        for cc_weight, a, b in pairs:
+            if not _merge_improves(mod, profile, candidates, a, b, opts,
+                                   target, me_ips):
+                continue
+            merged_members = a.members() | b.members()
+            size = estimate_closure(mod, sorted(merged_members), opts)
+            if size > opts.me_code_store:
+                continue
+            a.ppfs = sorted(merged_members)
+            a.duplicate_hint = max(a.duplicate_hint, b.duplicate_hint)
+            aggregates.remove(b)
+            refresh(a)
+            done = False
+            break
+
+        if done and len(hot(aggregates)) > opts.num_mes:
+            target *= 0.9  # RELAX_CONSTRAINT
+            done = False
+
+    # MAP_TO_XSCALE: oversized or infrequently executed aggregates.
+    me_aggs: List[Aggregate] = []
+    xscale: List[Aggregate] = []
+    for agg in aggregates:
+        if agg.code_size > opts.me_code_store or _rate(profile, agg) < INFREQUENT_RATE:
+            agg.target = "xscale"
+            xscale.append(agg)
+        else:
+            agg.target = "me"
+            me_aggs.append(agg)
+
+    # MAP_TO_MES with duplication.
+    costs = [a.cost for a in me_aggs]
+    assignment = assign_mes(costs, opts.num_mes, me_ips)
+    for agg, count in zip(me_aggs, assignment):
+        agg.me_count = count
+
+    plan = AggregationPlan(me_aggregates=me_aggs, xscale_aggregates=xscale)
+    plan.throughput_pps = system_throughput(costs, opts.num_mes, me_ips)
+    plan.internal_channels = _internal_channels(mod, me_aggs + xscale)
+    return plan
+
+
+def _rate(profile: ProfileData, agg: Aggregate) -> float:
+    if profile.packets_in == 0:
+        # No profile (empty trace): assume everything is hot rather than
+        # shipping the whole program to the XScale.
+        return 1.0
+    return max((profile.invocation_rate(p) for p in agg.ppfs), default=0.0)
+
+
+def _connected_pairs(mod: IRModule, profile: ProfileData,
+                     aggregates: List[Aggregate]):
+    """Aggregate pairs joined by at least one channel, sorted by total
+    connecting-channel cost, highest first."""
+    owner: Dict[str, Aggregate] = {}
+    for agg in aggregates:
+        for ppf in agg.ppfs:
+            owner[ppf] = agg
+    weights: Dict[Tuple[int, int], float] = {}
+    index = {id(a): i for i, a in enumerate(aggregates)}
+    for name, chan in mod.channels.items():
+        if chan.consumer is None:
+            continue
+        consumer = owner.get(chan.consumer)
+        for producer in chan.producers:
+            prod = owner.get(producer)
+            if prod is None or consumer is None or prod is consumer:
+                continue
+            key = tuple(sorted((index[id(prod)], index[id(consumer)])))
+            weights[key] = weights.get(key, 0.0) + profile.channel_utilization(name)
+    pairs = [
+        (w * CC_COST, aggregates[i], aggregates[j])
+        for (i, j), w in weights.items()
+    ]
+    pairs.sort(key=lambda t: t[0], reverse=True)
+    return pairs
+
+
+def _system_costs(candidates: List[Aggregate]) -> List[float]:
+    return [a.cost for a in candidates]
+
+
+def _duplicate_improves(candidates: List[Aggregate], dom: Aggregate,
+                        opts: CompilerOptions, target: float,
+                        me_ips: float) -> bool:
+    """True if the optimal ME assignment is still short of the target and
+    giving the dominating aggregate another copy would help. Because the
+    final mapping already assigns MEs greedily, an explicit duplicate
+    only helps while the hint lags the would-be assignment."""
+    costs = _system_costs(candidates)
+    current = system_throughput(costs, opts.num_mes, me_ips)
+    if current >= target:
+        return False
+    assignment = assign_mes(costs, opts.num_mes, me_ips)
+    idx = candidates.index(dom)
+    return bool(assignment) and dom.duplicate_hint < assignment[idx]
+
+
+def _merge_improves(mod: IRModule, profile: ProfileData,
+                    candidates: List[Aggregate], a: Aggregate, b: Aggregate,
+                    opts: CompilerOptions, target: float, me_ips: float) -> bool:
+    """MERGE_IMPROVES_THROUGHPUT: system throughput with the pair merged
+    (saving the connecting CC overhead) must not regress, or must reach
+    the (possibly relaxed) target. A hot aggregate never absorbs an
+    infrequently-executed one: that work is destined for the XScale
+    (MAP_TO_XSCALE), so pulling it onto the MEs wastes code store and
+    per-packet budget."""
+    a_hot, b_hot = a in candidates, b in candidates
+    if not a_hot and not b_hot:
+        return True  # both cold: merging control PPFs is harmless
+    if a_hot != b_hot:
+        return False
+    merged_cost = aggregate_cost(mod, profile, a.members() | b.members(), CC_COST)
+    before = system_throughput(_system_costs(candidates), opts.num_mes, me_ips)
+    after_costs = [x.cost for x in candidates if x is not a and x is not b]
+    after_costs.append(merged_cost)
+    after = system_throughput(after_costs, opts.num_mes, me_ips)
+    return after >= min(before, target) or after >= before
+
+
+def _internal_channels(mod: IRModule, aggregates: List[Aggregate]) -> Set[str]:
+    internal: Set[str] = set()
+    for agg in aggregates:
+        members = agg.members()
+        for name, chan in mod.channels.items():
+            if chan.consumer in members and chan.producers and all(
+                p in members for p in chan.producers
+            ):
+                internal.add(name)
+    return internal
+
+
+# -- IR rewriting --------------------------------------------------------------------
+
+
+def apply_plan(mod: IRModule, plan: AggregationPlan) -> None:
+    """Rewrite the IR for the chosen aggregation: every ``channel_put``
+    to a channel that is internal to an aggregate becomes a direct call
+    of the consumer PPF (eliminating the CC overhead -- the point of
+    merging). Channels whose conversion would create a call cycle stay
+    rings (Baker code itself cannot recurse, but a channel cycle inside
+    one aggregate could)."""
+    edges: Dict[str, Set[str]] = {name: set() for name in mod.functions}
+    from repro.ir.callgraph import CallGraph
+
+    cg = CallGraph(mod)
+    for name, callees in cg.callees.items():
+        edges[name].update(callees)
+
+    def creates_cycle(producer: str, consumer: str) -> bool:
+        # Is producer reachable from consumer?
+        stack, seen = [consumer], set()
+        while stack:
+            n = stack.pop()
+            if n == producer:
+                return True
+            if n in seen:
+                continue
+            seen.add(n)
+            stack.extend(edges.get(n, ()))
+        return False
+
+    for name in sorted(plan.internal_channels):
+        chan = mod.channels[name]
+        consumer = chan.consumer
+        if consumer is None:
+            continue
+        if any(creates_cycle(p, consumer) for p in chan.producers):
+            plan.internal_channels.discard(name)
+            continue
+        for fn in mod.functions.values():
+            for bb in fn.blocks:
+                for idx, instr in enumerate(bb.instrs):
+                    if isinstance(instr, I.ChanPut) and instr.channel == name:
+                        bb.instrs[idx] = I.Call(None, consumer, [instr.ph])
+            edges[fn.name].add(consumer)
+        setattr(chan, "internal", True)

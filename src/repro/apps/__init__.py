@@ -1,0 +1,36 @@
+"""The paper's three benchmark applications, written in Baker.
+
+Usage::
+
+    from repro.apps import get_app
+    app = get_app("l3switch")
+    trace = app.make_trace(200, seed=1)
+    result = compile_baker(app.source, options_for("SWC"), trace)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+from repro.apps.firewall import FirewallApp
+from repro.apps.l3switch import L3SwitchApp
+from repro.apps.mpls import MplsApp
+
+APP_CLASSES = {
+    "l3switch": L3SwitchApp,
+    "firewall": FirewallApp,
+    "mpls": MplsApp,
+}
+
+_cache: Dict[str, object] = {}
+
+
+def get_app(name: str):
+    """A cached default-configuration instance of one application."""
+    if name not in _cache:
+        _cache[name] = APP_CLASSES[name]()
+    return _cache[name]
+
+
+def all_apps():
+    return [get_app(name) for name in APP_CLASSES]

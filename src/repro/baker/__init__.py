@@ -1,0 +1,30 @@
+"""The Baker language front-end: lexer, parser, semantic analysis.
+
+Typical use::
+
+    from repro.baker import parse_and_check
+    checked = parse_and_check(source_text)
+"""
+
+from repro.baker.errors import BakerError, LexError, ParseError, SemanticError
+from repro.baker.lexer import tokenize
+from repro.baker.parser import parse
+from repro.baker.semantic import CheckedProgram, analyze
+
+
+def parse_and_check(text: str, filename: str = "<baker>") -> CheckedProgram:
+    """Parse and semantically check Baker source text."""
+    return analyze(parse(text, filename))
+
+
+__all__ = [
+    "BakerError",
+    "LexError",
+    "ParseError",
+    "SemanticError",
+    "CheckedProgram",
+    "tokenize",
+    "parse",
+    "analyze",
+    "parse_and_check",
+]

@@ -1,0 +1,64 @@
+"""Diagnostics for the Baker front-end.
+
+All front-end failures are reported as :class:`BakerError` (or one of its
+subclasses) carrying a :class:`~repro.baker.source.SourceLocation` so that
+tools can print ``file:line:col`` style messages.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baker.source import SourceLocation
+
+
+class BakerError(Exception):
+    """Base class for all Baker front-end errors."""
+
+    def __init__(self, message: str, loc: Optional[SourceLocation] = None):
+        self.message = message
+        self.loc = loc
+        super().__init__(self.format())
+
+    def format(self) -> str:
+        """Render the error as ``file:line:col: kind: message``."""
+        kind = self.kind()
+        if self.loc is not None:
+            return "%s: %s: %s" % (self.loc, kind, self.message)
+        return "%s: %s" % (kind, self.message)
+
+    def kind(self) -> str:
+        return "error"
+
+
+class LexError(BakerError):
+    """Raised when the lexer encounters an invalid character or literal."""
+
+    def kind(self) -> str:
+        return "lex error"
+
+
+class ParseError(BakerError):
+    """Raised when the parser encounters an unexpected token."""
+
+    def kind(self) -> str:
+        return "parse error"
+
+
+class SemanticError(BakerError):
+    """Raised for type errors, undeclared names, bad wirings, etc."""
+
+    def kind(self) -> str:
+        return "semantic error"
+
+
+class LoweringError(BakerError):
+    """Raised when a checked AST cannot be lowered to IR.
+
+    Lowering failures indicate constructs that passed semantic analysis but
+    are not supported by the current code-generation strategy (these should
+    be rare; most restrictions are enforced during semantic analysis).
+    """
+
+    def kind(self) -> str:
+        return "lowering error"

@@ -1,0 +1,177 @@
+"""Hand-written lexer for the Baker language.
+
+Produces a list of :class:`~repro.baker.tokens.Token`, terminated by an
+``EOF`` token. Supports ``//`` line comments, ``/* */`` block comments,
+decimal / hex / octal / binary integer literals, character literals and
+double-quoted strings (used only for diagnostics / table names).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.baker.errors import LexError
+from repro.baker.source import SourceFile
+from repro.baker.tokens import KEYWORDS, OPERATORS, Token, TokenKind
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | set("0123456789")
+_DIGITS = set("0123456789")
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "0": "\0",
+    "\\": "\\",
+    "'": "'",
+    '"': '"',
+}
+
+
+class Lexer:
+    """Tokenizes one :class:`SourceFile`."""
+
+    def __init__(self, source: SourceFile):
+        self.source = source
+        self.text = source.text
+        self.pos = 0
+
+    def tokenize(self) -> List[Token]:
+        tokens: List[Token] = []
+        while True:
+            tok = self._next_token()
+            tokens.append(tok)
+            if tok.kind is TokenKind.EOF:
+                return tokens
+
+    # -- internals ---------------------------------------------------------
+
+    def _loc(self, offset: int):
+        return self.source.location(offset)
+
+    def _error(self, message: str, offset: int) -> LexError:
+        return LexError(message, self._loc(offset))
+
+    def _skip_trivia(self) -> None:
+        text, n = self.text, len(self.text)
+        while self.pos < n:
+            ch = text[self.pos]
+            if ch in " \t\r\n":
+                self.pos += 1
+            elif text.startswith("//", self.pos):
+                end = text.find("\n", self.pos)
+                self.pos = n if end < 0 else end + 1
+            elif text.startswith("/*", self.pos):
+                end = text.find("*/", self.pos + 2)
+                if end < 0:
+                    raise self._error("unterminated block comment", self.pos)
+                self.pos = end + 2
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        self._skip_trivia()
+        start = self.pos
+        text, n = self.text, len(self.text)
+        if start >= n:
+            return Token(TokenKind.EOF, "", self._loc(start))
+        ch = text[start]
+
+        if ch in _IDENT_START:
+            return self._lex_ident(start)
+        if ch in _DIGITS:
+            return self._lex_number(start)
+        if ch == '"':
+            return self._lex_string(start)
+        if ch == "'":
+            return self._lex_char(start)
+
+        for op_text, kind in OPERATORS:
+            if text.startswith(op_text, start):
+                self.pos = start + len(op_text)
+                return Token(kind, op_text, self._loc(start))
+
+        raise self._error("unexpected character %r" % ch, start)
+
+    def _lex_ident(self, start: int) -> Token:
+        text, n = self.text, len(self.text)
+        pos = start + 1
+        while pos < n and text[pos] in _IDENT_CONT:
+            pos += 1
+        self.pos = pos
+        word = text[start:pos]
+        kind = KEYWORDS.get(word, TokenKind.IDENT)
+        return Token(kind, word, self._loc(start))
+
+    def _lex_number(self, start: int) -> Token:
+        text, n = self.text, len(self.text)
+        pos = start
+        base = 10
+        if text.startswith(("0x", "0X"), pos):
+            base, pos = 16, pos + 2
+            digits = "0123456789abcdefABCDEF"
+        elif text.startswith(("0b", "0B"), pos):
+            base, pos = 2, pos + 2
+            digits = "01"
+        elif text[pos] == "0" and pos + 1 < n and text[pos + 1] in _DIGITS:
+            base, pos = 8, pos + 1
+            digits = "01234567"
+        else:
+            digits = "0123456789"
+        digit_start = pos
+        while pos < n and (text[pos] in digits or text[pos] == "_"):
+            pos += 1
+        if pos == digit_start and base != 10:
+            raise self._error("invalid integer literal", start)
+        if pos < n and text[pos] in _IDENT_START:
+            raise self._error("invalid suffix on integer literal", pos)
+        self.pos = pos
+        literal = text[start:pos]
+        value = int(literal.replace("_", ""), 0 if base in (10, 16, 2) else 8)
+        return Token(TokenKind.INT, literal, self._loc(start), value=value)
+
+    def _lex_string(self, start: int) -> Token:
+        chars: List[str] = []
+        pos = start + 1
+        text, n = self.text, len(self.text)
+        while True:
+            if pos >= n or text[pos] == "\n":
+                raise self._error("unterminated string literal", start)
+            ch = text[pos]
+            if ch == '"':
+                pos += 1
+                break
+            if ch == "\\":
+                if pos + 1 >= n or text[pos + 1] not in _ESCAPES:
+                    raise self._error("invalid escape sequence", pos)
+                chars.append(_ESCAPES[text[pos + 1]])
+                pos += 2
+            else:
+                chars.append(ch)
+                pos += 1
+        self.pos = pos
+        return Token(TokenKind.STRING, text[start:pos], self._loc(start), value="".join(chars))
+
+    def _lex_char(self, start: int) -> Token:
+        text, n = self.text, len(self.text)
+        pos = start + 1
+        if pos >= n:
+            raise self._error("unterminated character literal", start)
+        if text[pos] == "\\":
+            if pos + 1 >= n or text[pos + 1] not in _ESCAPES:
+                raise self._error("invalid escape sequence", pos)
+            value = ord(_ESCAPES[text[pos + 1]])
+            pos += 2
+        else:
+            value = ord(text[pos])
+            pos += 1
+        if pos >= n or text[pos] != "'":
+            raise self._error("unterminated character literal", start)
+        self.pos = pos + 1
+        return Token(TokenKind.CHAR, text[start : pos + 1], self._loc(start), value=value)
+
+
+def tokenize(text: str, filename: str = "<baker>") -> List[Token]:
+    """Convenience wrapper: lex ``text`` into a token list (EOF-terminated)."""
+    return Lexer(SourceFile(text, filename)).tokenize()

@@ -1,0 +1,42 @@
+"""The runtime packet model shared by the compiler, runtime and simulator.
+
+A packet is represented exactly as on the IXP (paper Figure 3):
+
+* **Packet data** lives in a DRAM buffer.
+* **Packet metadata** lives in SRAM; a ``packet_handle`` *is* the SRAM
+  address of the metadata block.
+
+Metadata block layout (word-granular)::
+
+    word 0   BUF_ADDR   DRAM address of the packet buffer
+    word 1   HEAD_OFF   byte offset of the current protocol head within
+                        the buffer (updated by encap/decap/extend/shorten)
+    word 2   PKT_LEN    bytes from head to tail
+    word 3   RX_PORT    receive port recorded by Rx
+    word 4+  user metadata fields declared in the program's ``metadata``
+             block (word-granular, in declaration order)
+
+The DRAM buffer is allocated with ``HEADROOM_BYTES`` of headroom so that
+``packet_encap``/``packet_extend`` can move the head backwards without
+copying.
+"""
+
+from __future__ import annotations
+
+# Builtin metadata word indices.
+META_BUF_ADDR = 0
+META_HEAD_OFF = 1
+META_PKT_LEN = 2
+META_RX_PORT = 3
+META_USER_BASE = 4  # first user metadata word
+
+# Builtin metadata fields accessible as ``ph->meta.<name>``.
+BUILTIN_META_FIELDS = {
+    "rx_port": META_RX_PORT,
+}
+
+# DRAM buffer geometry.
+HEADROOM_BYTES = 64
+BUFFER_BYTES = 2048  # fixed-size buffers, as on the IXP reference designs
+
+WORD_BYTES = 4

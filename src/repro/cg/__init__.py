@@ -1,0 +1,2 @@
+"""Code generator: IR -> CGIR -> ME instructions (regalloc, scheduling,
+stack layout, packet lowering, code-store accounting)."""

@@ -1,0 +1,118 @@
+"""Final assembly: per-aggregate ME images.
+
+Lowers every function reachable from an aggregate's entry PPFs, runs
+register allocation, places stack frames, flattens everything (dispatch
+loop first, then functions, then the shared packet helpers), resolves
+branch targets, and enforces the 4096-instruction control store limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.cg.isa import Bal, Br, Insn, LIRFunction, Rtn
+from repro.cg.lower import CodegenError, LowerContext, lower_function
+from repro.cg.melayout import CODE_STORE_WORDS
+from repro.cg.regalloc import allocate_function
+from repro.cg.stack import StackLayoutResult, layout_frames, resolve_stack_accesses
+from repro.ir.callgraph import CallGraph
+from repro.rts.dispatch import DISPATCH_NAME, build_dispatch
+
+
+@dataclass
+class MEImage:
+    """Everything an ME needs to run one aggregate."""
+
+    name: str
+    insns: List[Insn] = field(default_factory=list)
+    entry: int = 0
+    label_index: Dict[str, int] = field(default_factory=dict)
+    code_size: int = 0
+    functions: List[str] = field(default_factory=list)
+    stack_layout: Optional[StackLayoutResult] = None
+    inputs: List[Tuple[str, str]] = field(default_factory=list)  # (ring, entry)
+
+    def describe(self) -> str:
+        return "%s: %d instrs (%d control-store words), %d functions" % (
+            self.name, len(self.insns), self.code_size, len(self.functions))
+
+
+def _entry_ppfs(mod, plan, agg) -> List[str]:
+    entries = []
+    for ppf in agg.ppfs:
+        fn = mod.functions[ppf]
+        externals = [c for c in fn.input_channels if c not in plan.internal_channels]
+        if externals:
+            entries.append(ppf)
+    return entries
+
+
+def build_image(result, agg) -> MEImage:
+    """Compile one ME aggregate into an executable image."""
+    mod, opts, plan = result.mod, result.opts, result.plan
+    ctx = LowerContext(mod, opts)
+    cg = CallGraph(mod)
+
+    entries = _entry_ppfs(mod, plan, agg)
+    reachable: List[str] = []
+    for ppf in entries:
+        for name in [ppf] + sorted(cg.transitive_callees(ppf)):
+            if name not in reachable and name in mod.functions:
+                reachable.append(name)
+
+    lirs: Dict[str, LIRFunction] = {}
+    for name in reachable:
+        lirs[name] = lower_function(ctx, mod.functions[name])
+
+    inputs: List[Tuple[str, str]] = []
+    for ppf in entries:
+        fn = mod.functions[ppf]
+        for chan in fn.input_channels:
+            if chan not in plan.internal_channels:
+                inputs.append(("ring.%s" % chan, lirs[ppf].entry_label))
+    dispatch = build_dispatch(inputs)
+
+    all_fns: Dict[str, LIRFunction] = {DISPATCH_NAME: dispatch}
+    all_fns.update(lirs)
+    all_fns.update(ctx.helpers)
+
+    for fn in all_fns.values():
+        allocate_function(fn)
+    # Helpers may have been created during lowering of several functions;
+    # any created after allocation started would be missed -- helpers are
+    # created during lower_function, which already ran, so the set is
+    # stable here.
+    layout = layout_frames(all_fns, roots=[DISPATCH_NAME], stack_opt=opts.stack_opt)
+    resolve_stack_accesses(all_fns, layout)
+
+    image = MEImage(name=agg.name, inputs=inputs, stack_layout=layout)
+    order = [DISPATCH_NAME] + [n for n in reachable] + sorted(ctx.helpers)
+    for name in order:
+        fn = all_fns[name]
+        image.functions.append(name)
+        for bb in fn.blocks:
+            image.label_index[bb.label] = len(image.insns)
+            image.insns.extend(bb.insns)
+    # Resolve branch targets.
+    for idx, insn in enumerate(image.insns):
+        if isinstance(insn, (Br, Bal)):
+            target = image.label_index.get(insn.target)
+            if target is None:
+                raise CodegenError("unresolved branch target %r" % insn.target)
+            insn.resolved = target
+    image.entry = image.label_index[dispatch.entry_label]
+    image.code_size = sum(i.size for i in image.insns)
+    if image.code_size > CODE_STORE_WORDS:
+        raise CodegenError(
+            "aggregate %s needs %d control-store words (limit %d); "
+            "aggregation should have split it"
+            % (agg.name, image.code_size, CODE_STORE_WORDS)
+        )
+    return image
+
+
+def generate_images(result) -> None:
+    """Populate ``result.images`` with one MEImage per ME aggregate."""
+    for agg in result.plan.me_aggregates:
+        result.images[agg.name] = build_image(result, agg)

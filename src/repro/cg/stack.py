@@ -1,0 +1,166 @@
+"""Stack layout optimization (paper section 5.4).
+
+Baker has no recursion, so every function's frame can be placed
+statically. Following the paper:
+
+* frames of functions higher in the call graph claim Local Memory first
+  (each thread owns 48 LM words for stack);
+* a frame placed while LM space remains goes wholly to LM; once a call
+  chain's cumulative frame footprint exceeds the thread's LM budget, the
+  overflowing function's frame lives wholly in SRAM -- dramatically
+  slower, which is the behavior the stack optimization exists to avoid;
+* with the optimization *off* (the paper's initial implementation),
+  every frame is rounded up to 16 words to suit offset addressing; the
+  optimized layout packs frames exactly (the physical/virtual stack
+  pointer split of Figure 12).
+
+This stage also rewrites the ``StackRead``/``StackWrite``
+pseudo-instructions into offset-addressed Local Memory accesses or SRAM
+accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.cg import isa
+from repro.cg.isa import (
+    Alu, Bal, Imm, Insn, LIRFunction, LmRead, LmWrite, Mem, StackRead,
+    StackWrite, SymRef, ThreadStackAddr, VReg,
+)
+from repro.cg.melayout import STACK_WORDS_PER_THREAD
+
+UNOPTIMIZED_FRAME_ALIGN = 16  # words; pre-pSP/vSP minimum frame size
+
+
+@dataclass
+class FramePlacement:
+    region: str  # 'lm' | 'sram'
+    base_word: int
+
+
+@dataclass
+class StackLayoutResult:
+    placements: Dict[str, FramePlacement] = field(default_factory=dict)
+    lm_words_used: int = 0
+    sram_words_used: int = 0
+
+    @property
+    def any_sram_frames(self) -> bool:
+        return any(p.region == "sram" for p in self.placements.values())
+
+
+def _call_edges(fns: Dict[str, LIRFunction]) -> Dict[str, List[str]]:
+    by_entry = {fn.entry_label: name for name, fn in fns.items()}
+    edges: Dict[str, List[str]] = {name: [] for name in fns}
+    for name, fn in fns.items():
+        for insn in fn.all_insns():
+            if isinstance(insn, Bal):
+                callee = by_entry.get(insn.target)
+                if callee is not None and callee not in edges[name]:
+                    edges[name].append(callee)
+    return edges
+
+
+def layout_frames(fns: Dict[str, LIRFunction], roots: List[str],
+                  stack_opt: bool = True) -> StackLayoutResult:
+    """Assign every function's frame to LM or SRAM.
+
+    ``roots`` are the dispatch-loop-invoked entry functions (top of the
+    call graph). A function called from several places gets the maximum
+    base over its callers (its frame must never collide with any live
+    caller frame)."""
+    edges = _call_edges(fns)
+    result = StackLayoutResult()
+
+    def frame_size(fn: LIRFunction) -> int:
+        size = max(fn.frame_slots, 0)
+        if not stack_opt and size > 0:
+            size = ((size + UNOPTIMIZED_FRAME_ALIGN - 1)
+                    // UNOPTIMIZED_FRAME_ALIGN) * UNOPTIMIZED_FRAME_ALIGN
+        if not stack_opt and size == 0:
+            size = UNOPTIMIZED_FRAME_ALIGN  # every call reserves a frame
+        return size
+
+    # (lm_floor, sram_floor) reaching each function.
+    floors: Dict[str, Tuple[int, int]] = {}
+
+    def visit(name: str, lm_floor: int, sram_floor: int) -> None:
+        prev = floors.get(name)
+        merged = (
+            max(prev[0], lm_floor) if prev else lm_floor,
+            max(prev[1], sram_floor) if prev else sram_floor,
+        )
+        if prev == merged and prev is not None:
+            return
+        floors[name] = merged
+        fn = fns[name]
+        size = frame_size(fn)
+        lm_f, sram_f = merged
+        if lm_f + size <= STACK_WORDS_PER_THREAD:
+            result.placements[name] = FramePlacement("lm", lm_f)
+            next_lm, next_sram = lm_f + size, sram_f
+            result.lm_words_used = max(result.lm_words_used, lm_f + size)
+        else:
+            result.placements[name] = FramePlacement("sram", sram_f)
+            next_lm, next_sram = lm_f, sram_f + size
+            result.sram_words_used = max(result.sram_words_used, sram_f + size)
+        for callee in edges.get(name, ()):
+            visit(callee, next_lm, next_sram)
+
+    for root in roots:
+        if root in fns:
+            visit(root, 0, 0)
+    # Unreached functions (dead helpers) still get a placement.
+    for name in fns:
+        if name not in result.placements:
+            visit(name, 0, 0)
+    return result
+
+
+def resolve_stack_accesses(fns: Dict[str, LIRFunction],
+                           layout: StackLayoutResult) -> None:
+    """Rewrite StackRead/StackWrite into LM or SRAM operations."""
+    for name, fn in fns.items():
+        placement = layout.placements[name]
+        for bb in fn.blocks:
+            out: List[Insn] = []
+            for insn in bb.insns:
+                if isinstance(insn, (StackRead, StackWrite)):
+                    _resolve_one(out, insn, placement)
+                else:
+                    out.append(insn)
+            bb.insns = out
+
+
+def _resolve_one(out: List[Insn], insn, placement: FramePlacement) -> None:
+    word = placement.base_word + insn.slot
+    if placement.region == "lm":
+        if isinstance(insn, StackRead):
+            out.append(LmRead(insn.dst, insn.index, word, thread_rel=True))
+        else:
+            out.append(LmWrite(insn.index, word, insn.src, thread_rel=True))
+        return
+    # SRAM overflow frame: address = thread stack base + word*4 (+ index*4).
+    # Runs post-register-allocation, so only the reserved fixup registers
+    # may be minted here (each sequence is self-contained).
+    from repro.cg import abi
+
+    base = abi.FIXUP_A
+    out.append(ThreadStackAddr(base))
+    if insn.index is not None:
+        scaled = abi.FIXUP_B
+        out.append(Alu("shl", scaled, insn.index, Imm(2)))
+        out.append(Alu("add", base, base, scaled))
+    addr = base
+    if isinstance(insn, StackRead):
+        out.append(Mem("sram", "read", [insn.dst], addr, Imm(word * 4), 1,
+                       category=isa.CAT_APP))
+    else:
+        src = insn.src
+        if isinstance(src, Imm):
+            out.append(isa.Immed(abi.FIXUP_B, src.value))
+            src = abi.FIXUP_B
+        out.append(Mem("sram", "write", [src], addr, Imm(word * 4), 1,
+                       category=isa.CAT_APP))

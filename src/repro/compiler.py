@@ -1,0 +1,172 @@
+"""The Shangri-La compiler driver (paper Figure 5).
+
+Pipeline::
+
+    Baker source
+      -> parse + semantic check                 (front-end)
+      -> lower to IR                            (WHIRL analogue)
+      -> functional profiler over a trace       (exec/access statistics)
+      -> scalar opts + inlining                 (-O1 / -O2)
+      -> aggregation (merge/duplicate, CC->call, map to MEs/XScale)
+      -> PAC -> SOAR -> PHR -> SWC              (packet optimizations)
+      -> code generation per aggregate          (CGIR, regalloc, stack)
+
+Each stage is skippable via :class:`~repro.options.CompilerOptions`,
+reproducing the paper's cumulative BASE..+SWC levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.aggregation.aggregate import AggregationPlan
+from repro.aggregation.formation import apply_plan, form_aggregates
+from repro.baker import parse_and_check
+from repro.baker.lowering import lower_program
+from repro.baker.semantic import CheckedProgram
+from repro.ir.module import IRModule
+from repro.ir.verifier import verify_module
+from repro.opt import inline, pac, phr, soar, swc
+from repro.opt.pipeline import run_scalar_pipeline, scalar_optimize_function
+from repro.options import CompilerOptions, options_for
+from repro.profiler.interpreter import run_reference
+from repro.profiler.stats import ProfileData
+from repro.profiler.trace import Trace
+
+
+@dataclass
+class CompileResult:
+    """Everything produced by a compilation, through code generation."""
+
+    checked: CheckedProgram
+    mod: IRModule
+    profile: ProfileData
+    plan: AggregationPlan
+    opts: CompilerOptions
+    soar_result: Optional[soar.SoarResult] = None
+    pac_result: Optional[pac.PacResult] = None
+    phr_result: Optional[phr.PhrResult] = None
+    swc_result: Optional[swc.SwcResult] = None
+    # Filled by the code generator (repro.cg.assemble):
+    images: Dict[str, object] = field(default_factory=dict)  # aggregate -> MEImage
+    fast_functions: Set[str] = field(default_factory=set)
+
+
+def compile_ir(
+    mod: IRModule,
+    checked: CheckedProgram,
+    opts: CompilerOptions,
+    trace: Trace,
+    target_gbps: float = 2.5,
+) -> CompileResult:
+    """Run the mid-end (profile, optimize, aggregate, packet opts) over an
+    already-lowered module."""
+    profile = run_reference(mod, trace).profile
+
+    run_scalar_pipeline(mod, opts)
+
+    plan = form_aggregates(mod, profile, opts, target_gbps=target_gbps)
+    apply_plan(mod, plan)
+    if opts.inline:
+        # Complete the merges: internally-called PPFs inline away.
+        inline.run(mod)
+    _prune_dead_functions(mod, plan)
+    if opts.scalar:
+        for fn in mod.functions.values():
+            scalar_optimize_function(fn)
+
+    result = CompileResult(checked=checked, mod=mod, profile=profile,
+                           plan=plan, opts=opts)
+
+    if opts.pac:
+        result.pac_result = pac.run(mod)
+    if opts.soar or opts.phr:
+        result.soar_result = soar.run(mod)
+    if opts.phr:
+        result.phr_result = phr.run(mod)
+        if opts.scalar:
+            for fn in mod.functions.values():
+                scalar_optimize_function(fn)
+        if opts.pac:
+            # PHR re-bases accesses of elided encap/decap pairs onto one
+            # common head, so a second combining pass can merge accesses
+            # across former protocol boundaries (the paper's dependence
+            # analysis reaches the same result in one pass); SOAR then
+            # re-annotates the new wide accesses.
+            second = pac.run(mod)
+            result.pac_result.combined_loads += second.combined_loads
+            result.pac_result.combined_stores += second.combined_stores
+            result.pac_result.wide_loads += second.wide_loads
+            result.pac_result.wide_stores += second.wide_stores
+            result.soar_result = soar.run(mod)
+            if opts.scalar:
+                for fn in mod.functions.values():
+                    scalar_optimize_function(fn)
+
+    result.fast_functions = plan.fast_functions(mod)
+    if opts.swc:
+        swc_result = swc.select_candidates(mod, profile, result.fast_functions)
+        swc.apply(mod, swc_result, result.fast_functions,
+                  check_period=opts.swc_check_period)
+        result.swc_result = swc_result
+
+    verify_module(mod)
+    return result
+
+
+def _prune_dead_functions(mod: IRModule, plan: AggregationPlan) -> None:
+    """Drop functions made unreachable by aggregation + inlining: a PPF
+    whose every input channel became a direct call (and was then inlined
+    everywhere) no longer exists as code, and keeping its body around
+    would confuse whole-program analyses (e.g. PHR's metadata
+    localization counts access sites per function)."""
+    from repro.ir.callgraph import CallGraph
+
+    changed = True
+    while changed:
+        changed = False
+        cg = CallGraph(mod)
+        for name, fn in list(mod.functions.items()):
+            if fn.kind == "init":
+                continue
+            if fn.kind == "ppf":
+                external = [c for c in fn.input_channels
+                            if c not in plan.internal_channels]
+                if external:
+                    continue  # still dispatched from a ring
+            if cg.callers.get(name):
+                continue
+            del mod.functions[name]
+            changed = True
+    live = set(mod.functions)
+    for agg in plan.me_aggregates + plan.xscale_aggregates:
+        agg.ppfs = [p for p in agg.ppfs if p in live]
+
+
+def compile_baker(
+    source: str,
+    opts: Optional[CompilerOptions] = None,
+    trace: Optional[Trace] = None,
+    filename: str = "<baker>",
+    target_gbps: float = 2.5,
+    codegen: bool = True,
+) -> CompileResult:
+    """Compile Baker source through the full Shangri-La pipeline.
+
+    ``trace`` drives the functional profiler (required for meaningful
+    aggregation and SWC decisions; an empty trace degrades gracefully).
+    Set ``codegen=False`` to stop after the mid-end (IR level).
+    """
+    if opts is None:
+        opts = options_for("SWC")
+    if trace is None:
+        trace = Trace([])
+    checked = parse_and_check(source, filename)
+    mod = lower_program(checked)
+    result = compile_ir(mod, checked, opts, trace, target_gbps)
+    if codegen:
+        from repro.cg.assemble import generate_images
+
+        generate_images(result)
+    return result

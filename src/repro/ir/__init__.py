@@ -1,0 +1,21 @@
+"""Typed three-address IR with first-class packet operations.
+
+This plays the role of WHIRL in the paper's ORC-based compiler: the
+functional profiler interprets it, the scalar and packet optimizations
+transform it, and the code generator lowers it to CGIR.
+"""
+
+from repro.ir import instructions
+from repro.ir.module import BasicBlock, IRFunction, IRModule, LocalArray
+from repro.ir.values import Const, Operand, Temp
+
+__all__ = [
+    "instructions",
+    "BasicBlock",
+    "IRFunction",
+    "IRModule",
+    "LocalArray",
+    "Const",
+    "Operand",
+    "Temp",
+]

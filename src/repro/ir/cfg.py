@@ -1,0 +1,154 @@
+"""CFG utilities: edge computation, orderings, cleanup."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.ir.instructions import Branch, Jump
+from repro.ir.module import BasicBlock, IRFunction
+from repro.ir.values import Const
+
+
+def compute_cfg(fn: IRFunction) -> None:
+    """(Re)compute pred/succ lists for every block."""
+    for bb in fn.blocks:
+        bb.preds = []
+        bb.succs = []
+    for bb in fn.blocks:
+        for succ in bb.successors():
+            bb.succs.append(succ)
+            succ.preds.append(bb)
+
+
+def reverse_postorder(fn: IRFunction) -> List[BasicBlock]:
+    """Blocks in reverse postorder from the entry (unreachable blocks
+    excluded). Assumes compute_cfg has run."""
+    visited: Set[BasicBlock] = set()
+    post: List[BasicBlock] = []
+
+    def visit(bb: BasicBlock) -> None:
+        stack = [(bb, iter(bb.succs))]
+        visited.add(bb)
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for succ in it:
+                if succ not in visited:
+                    visited.add(succ)
+                    stack.append((succ, iter(succ.succs)))
+                    advanced = True
+                    break
+            if not advanced:
+                post.append(node)
+                stack.pop()
+
+    visit(fn.entry)
+    return list(reversed(post))
+
+
+def remove_unreachable(fn: IRFunction) -> int:
+    """Delete blocks not reachable from the entry. Returns removal count."""
+    compute_cfg(fn)
+    reachable = set(reverse_postorder(fn))
+    removed = [bb for bb in fn.blocks if bb not in reachable]
+    if removed:
+        fn.blocks = [bb for bb in fn.blocks if bb in reachable]
+        compute_cfg(fn)
+    return len(removed)
+
+
+def simplify_cfg(fn: IRFunction) -> bool:
+    """Classic CFG cleanup, iterated to fixpoint:
+
+    * constant branches become jumps;
+    * jump-to-jump (empty block) threading;
+    * merge a block into its unique predecessor when that pred has a
+      single successor.
+
+    Returns True if anything changed.
+    """
+    changed_any = False
+    while True:
+        changed = False
+        remove_unreachable(fn)
+
+        # Constant branches -> jumps.
+        for bb in fn.blocks:
+            term = bb.terminator
+            if isinstance(term, Branch) and isinstance(term.cond, Const):
+                target = term.then_bb if term.cond.value != 0 else term.else_bb
+                bb.terminator = Jump(target)
+                changed = True
+            elif isinstance(term, Branch) and term.then_bb is term.else_bb:
+                bb.terminator = Jump(term.then_bb)
+                changed = True
+
+        compute_cfg(fn)
+
+        # Thread jumps through empty forwarding blocks.
+        forward: Dict[BasicBlock, BasicBlock] = {}
+        for bb in fn.blocks:
+            if bb is not fn.entry and not bb.instrs and isinstance(bb.terminator, Jump):
+                forward[bb] = bb.terminator.target
+
+        def resolve(bb: BasicBlock) -> BasicBlock:
+            seen = set()
+            while bb in forward and bb not in seen:
+                seen.add(bb)
+                bb = forward[bb]
+            return bb
+
+        if forward:
+            for bb in fn.blocks:
+                term = bb.terminator
+                if isinstance(term, Jump):
+                    target = resolve(term.target)
+                    if target is not term.target:
+                        term.target = target
+                        changed = True
+                elif isinstance(term, Branch):
+                    t, e = resolve(term.then_bb), resolve(term.else_bb)
+                    if t is not term.then_bb or e is not term.else_bb:
+                        term.then_bb, term.else_bb = t, e
+                        changed = True
+            remove_unreachable(fn)
+
+        # Merge straight-line pairs.
+        compute_cfg(fn)
+        merged = False
+        for bb in list(fn.blocks):
+            if isinstance(bb.terminator, Jump):
+                succ = bb.terminator.target
+                if succ is not fn.entry and succ is not bb and len(succ.preds) == 1:
+                    bb.instrs.extend(succ.instrs)
+                    bb.terminator = succ.terminator
+                    fn.blocks.remove(succ)
+                    compute_cfg(fn)
+                    merged = True
+                    changed = True
+                    break  # restart scan; block list changed
+        if merged:
+            continue
+
+        changed_any = changed_any or changed
+        if not changed:
+            break
+    compute_cfg(fn)
+    return changed_any
+
+
+def split_critical_edges(fn: IRFunction) -> None:
+    """Insert empty blocks on edges from multi-successor blocks to
+    multi-predecessor blocks."""
+    compute_cfg(fn)
+    for bb in list(fn.blocks):
+        term = bb.terminator
+        if not isinstance(term, Branch):
+            continue
+        for attr in ("then_bb", "else_bb"):
+            succ = getattr(term, attr)
+            if len(succ.preds) > 1:
+                mid = fn.new_block("crit")
+                mid.terminate(Jump(succ))
+                setattr(term, attr, mid)
+    compute_cfg(fn)

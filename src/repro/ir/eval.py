@@ -1,0 +1,85 @@
+"""Shared evaluation semantics for IR arithmetic.
+
+Both the functional interpreter and the constant folder call these, so
+compile-time folding can never disagree with runtime evaluation.
+"""
+
+from __future__ import annotations
+
+
+class EvalError(ArithmeticError):
+    pass
+
+
+def to_signed(value: int, bits: int) -> int:
+    sign = 1 << (bits - 1)
+    value &= (1 << bits) - 1
+    return value - (1 << bits) if value & sign else value
+
+
+def eval_binop(op: str, a: int, b: int, bits: int) -> int:
+    """Evaluate a BinOp; result is masked to ``bits``."""
+    mask = (1 << bits) - 1
+    if op == "add":
+        return (a + b) & mask
+    if op == "sub":
+        return (a - b) & mask
+    if op == "mul":
+        return (a * b) & mask
+    if op == "and":
+        return a & b & mask
+    if op == "or":
+        return (a | b) & mask
+    if op == "xor":
+        return (a ^ b) & mask
+    if op == "shl":
+        return (a << (b & (bits - 1))) & mask
+    if op == "lshr":
+        return (a & mask) >> (b & (bits - 1))
+    if op == "ashr":
+        return (to_signed(a, bits) >> (b & (bits - 1))) & mask
+    if op == "div_u":
+        if b == 0:
+            raise EvalError("division by zero")
+        return ((a & mask) // (b & mask)) & mask
+    if op == "rem_u":
+        if b == 0:
+            raise EvalError("division by zero")
+        return ((a & mask) % (b & mask)) & mask
+    if op == "div_s":
+        sa, sb = to_signed(a, bits), to_signed(b, bits)
+        if sb == 0:
+            raise EvalError("division by zero")
+        q = abs(sa) // abs(sb)
+        if (sa < 0) != (sb < 0):
+            q = -q
+        return q & mask
+    if op == "rem_s":
+        sa, sb = to_signed(a, bits), to_signed(b, bits)
+        if sb == 0:
+            raise EvalError("division by zero")
+        r = abs(sa) % abs(sb)
+        if sa < 0:
+            r = -r
+        return r & mask
+    raise EvalError("unknown binop %r" % op)
+
+
+def eval_cmp(op: str, a: int, b: int, bits: int) -> int:
+    """Evaluate a Cmp; ``bits`` is the width used for signed reinterpretation."""
+    if op == "eq":
+        return int(a == b)
+    if op == "ne":
+        return int(a != b)
+    if op.endswith("_s"):
+        a, b = to_signed(a, bits), to_signed(b, bits)
+    base = op[:2]
+    if base == "lt":
+        return int(a < b)
+    if base == "le":
+        return int(a <= b)
+    if base == "gt":
+        return int(a > b)
+    if base == "ge":
+        return int(a >= b)
+    raise EvalError("unknown cmp %r" % op)

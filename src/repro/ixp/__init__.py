@@ -1,0 +1,8 @@
+"""Cycle-approximate IXP2400 simulator: the evaluation substrate
+substituting for the paper's hardware testbed."""
+
+from repro.ixp.chip import IXP2400
+from repro.ixp.counters import AccessProfile, Counters
+from repro.ixp.memory import ME_HZ, MemorySystem
+
+__all__ = ["IXP2400", "AccessProfile", "Counters", "ME_HZ", "MemorySystem"]

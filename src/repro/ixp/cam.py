@@ -1,0 +1,43 @@
+"""The per-ME 16-entry content-addressable memory (paper section 3.3)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class CAM:
+    """16 entries of 32-bit tags with LRU replacement. ``lookup`` returns
+    ``(entry << 1) | hit``; on a miss the reported entry is the LRU
+    victim (the software cache installs the new tag there)."""
+
+    ENTRIES = 16
+
+    def __init__(self):
+        self.tags: List[Optional[int]] = [None] * self.ENTRIES
+        self.lru: List[int] = list(range(self.ENTRIES))
+
+    def lookup(self, key: int) -> int:
+        key &= 0xFFFFFFFF
+        for entry in range(self.ENTRIES):
+            if self.tags[entry] == key:
+                self._touch(entry)
+                return (entry << 1) | 1
+        # Miss: the LRU victim is returned AND becomes most-recently-used
+        # (MEv2 behavior) -- concurrent missing threads therefore receive
+        # distinct victims instead of racing on one entry.
+        victim = self.lru[0]
+        self._touch(victim)
+        return victim << 1
+
+    def write(self, entry: int, key: int) -> None:
+        entry &= 0xF
+        self.tags[entry] = key & 0xFFFFFFFF
+        self._touch(entry)
+
+    def clear(self) -> None:
+        self.tags = [None] * self.ENTRIES
+        self.lru = list(range(self.ENTRIES))
+
+    def _touch(self, entry: int) -> None:
+        self.lru.remove(entry)
+        self.lru.append(entry)

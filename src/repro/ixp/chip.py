@@ -1,0 +1,125 @@
+"""The IXP2400 chip model: event-driven top level.
+
+Owns the memory system, the scratch rings, the programmable MEs, the
+Rx/Tx engines and the XScale core, and advances them in global time
+order with a small event heap. MEs run in bounded slices so cross-ME
+memory contention stays causally tight.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.ixp.memory import ME_HZ, MemorySystem
+from repro.ixp.microengine import Microengine
+from repro.ixp.rings import Ring, RingSet
+from repro.ixp.rxtx import RxEngine, TxEngine
+
+
+class IXP2400:
+    """Configured chip: call :meth:`run` (or the measurement helpers in
+    :mod:`repro.rts.system`) after the loader has populated memory,
+    rings, symbols and ME images."""
+
+    def __init__(self, n_programmable_mes: int = 6):
+        self.n_programmable_mes = n_programmable_mes
+        self.memory = MemorySystem()
+        self.rings = RingSet()
+        self.symbols: Dict[str, int] = {}
+        self.mes: List[Microengine] = []
+        self.rx: Optional[RxEngine] = None
+        self.tx: Optional[TxEngine] = None
+        self.xscale = None  # repro.ixp.xscale_core.XScaleCore
+        self.meta_words = 8
+        self.now = 0.0
+        self._events: List[Tuple[float, int, object]] = []
+        self._seq = 0
+
+    # -- symbols / rings ---------------------------------------------------------
+
+    def symbol(self, name: str) -> int:
+        try:
+            return self.symbols[name]
+        except KeyError:
+            raise KeyError("unresolved symbol %r (loader bug?)" % name)
+
+    def ring_by_symbol(self, name: str) -> Ring:
+        ring = self.rings.get(name)
+        if ring is None:
+            raise KeyError("no ring %r" % name)
+        return ring
+
+    # -- event scheduling -----------------------------------------------------------
+
+    def schedule(self, time: float, action: Callable[[], Optional[float]]) -> None:
+        """``action`` runs at ``time``; if it returns a float, it is
+        rescheduled at that absolute time."""
+        self._seq += 1
+        heapq.heappush(self._events, (time, self._seq, action))
+
+    def add_me(self, me: Microengine) -> None:
+        self.mes.append(me)
+
+        def run() -> Optional[float]:
+            me.time = max(me.time, self.now)
+            nxt = me.run_slice()
+            return nxt
+
+        self.schedule(0.0, run)
+
+    def attach_traffic(self, rx: RxEngine, tx: TxEngine,
+                       tx_poll_cycles: float = 50.0) -> None:
+        self.rx = rx
+        self.tx = tx
+
+        def rx_event() -> Optional[float]:
+            delay = rx.inject_next()
+            if delay is None:
+                return None
+            return self.now + delay
+
+        def tx_event() -> Optional[float]:
+            tx.poll(self.now)
+            ring = self.rings.get("ring.tx")
+            if ring is not None and len(ring) and tx.busy_until > self.now:
+                # Packets are waiting on line-rate pacing: wake exactly
+                # when the transmitter frees up.
+                return max(tx.busy_until, self.now + 1.0)
+            return self.now + tx_poll_cycles
+
+        self.schedule(0.0, rx_event)
+        self.schedule(0.0, tx_event)
+
+    def attach_xscale(self, xscale, poll_cycles: float = 600.0) -> None:
+        self.xscale = xscale
+
+        def xscale_event() -> Optional[float]:
+            busy = xscale.service(self.now)
+            return self.now + max(poll_cycles, busy)
+
+        self.schedule(poll_cycles, xscale_event)
+
+    # -- main loop ----------------------------------------------------------------------
+
+    def run(self, until_cycles: float,
+            stop: Optional[Callable[[], bool]] = None,
+            stop_check_interval: int = 64) -> None:
+        """Advance simulation until ``until_cycles`` (or ``stop()``)."""
+        checked = 0
+        while self._events:
+            time, seq, action = heapq.heappop(self._events)
+            if time > until_cycles:
+                heapq.heappush(self._events, (time, seq, action))
+                break
+            self.now = max(self.now, time)
+            nxt = action()
+            if nxt is not None:
+                self.schedule(max(nxt, self.now + 1e-9), action)
+            checked += 1
+            if stop is not None and checked % stop_check_interval == 0 and stop():
+                break
+
+    @property
+    def seconds(self) -> float:
+        return self.now / ME_HZ

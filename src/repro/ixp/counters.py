@@ -1,0 +1,70 @@
+"""Access and packet accounting for the evaluation (Table 1 metrics)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+class Counters:
+    """Counts memory accesses by (space, category) plus moved words.
+
+    ``snapshot()``/``delta()`` support measuring only the steady-state
+    window (after warm-up), which is how Table 1's per-packet numbers
+    and the figures' forwarding rates are produced.
+    """
+
+    def __init__(self):
+        self.accesses: Counter = Counter()  # (space, category) -> count
+        self.words: Counter = Counter()
+
+    def record(self, space: str, category: str, words: int) -> None:
+        self.accesses[(space, category)] += 1
+        self.words[(space, category)] += words
+
+    def snapshot(self) -> Dict:
+        return {
+            "accesses": Counter(self.accesses),
+            "words": Counter(self.words),
+        }
+
+    @staticmethod
+    def delta(after: Dict, before: Dict) -> Dict:
+        return {
+            "accesses": after["accesses"] - before["accesses"],
+            "words": after["words"] - before["words"],
+        }
+
+
+@dataclass
+class AccessProfile:
+    """Per-packet dynamic memory accesses, in Table 1's columns."""
+
+    pkt_scratch: float = 0.0
+    pkt_sram: float = 0.0
+    pkt_dram: float = 0.0
+    app_scratch: float = 0.0
+    app_sram: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (self.pkt_scratch + self.pkt_sram + self.pkt_dram
+                + self.app_scratch + self.app_sram)
+
+    @staticmethod
+    def from_counters(delta: Dict, packets: int) -> "AccessProfile":
+        if packets <= 0:
+            return AccessProfile()
+        acc = delta["accesses"]
+        return AccessProfile(
+            pkt_scratch=acc[("scratch", "pkt")] / packets,
+            pkt_sram=acc[("sram", "pkt")] / packets,
+            pkt_dram=acc[("dram", "pkt")] / packets,
+            app_scratch=acc[("scratch", "app")] / packets,
+            app_sram=acc[("sram", "app")] / packets,
+        )
+
+    def row(self) -> Tuple[float, float, float, float, float, float]:
+        return (self.pkt_scratch, self.pkt_sram, self.pkt_dram,
+                self.app_scratch, self.app_sram, self.total)

@@ -1,0 +1,403 @@
+"""Microengine execution model.
+
+Each ME runs one :class:`~repro.cg.assemble.MEImage` on eight hardware
+thread contexts. Threads are non-preemptive: a thread executes until it
+issues a memory reference (which swaps it out until the data returns) or
+an explicit ``ctx_arb``; a round-robin arbiter then picks the next ready
+thread (paper section 3.1). Instructions cost their ``cycles``; taken
+branches add one abort cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cg import abi
+from repro.cg import isa
+from repro.cg.isa import Imm, PReg, SymRef
+from repro.cg.melayout import (
+    LM_WORDS,
+    N_THREADS,
+    SRAM_STACK_BYTES_PER_THREAD,
+    STACK_WORDS_PER_THREAD,
+)
+from repro.ixp.cam import CAM
+
+_U32 = 0xFFFFFFFF
+
+
+def _signed(v: int) -> int:
+    return v - (1 << 32) if v & 0x80000000 else v
+
+
+class SimError(RuntimeError):
+    pass
+
+
+class Thread:
+    __slots__ = ("index", "pc", "a", "b", "wake", "blocked", "halted",
+                 "cmp_a", "cmp_b", "lm_base")
+
+    def __init__(self, index: int, entry: int):
+        self.index = index
+        self.pc = entry
+        self.a = [0] * 16
+        self.b = [0] * 16
+        self.wake = 0.0
+        self.blocked = False
+        self.halted = False
+        self.cmp_a = 0
+        self.cmp_b = 0
+        self.lm_base = index * STACK_WORDS_PER_THREAD
+
+    def get(self, reg) -> int:
+        if reg.bank == "a":
+            return self.a[reg.index]
+        return self.b[reg.index]
+
+    def set(self, reg, value: int) -> None:
+        if reg.bank == "a":
+            self.a[reg.index] = value & _U32
+        else:
+            self.b[reg.index] = value & _U32
+
+
+class Microengine:
+    """One ME: instruction store, 8 threads, Local Memory, CAM."""
+
+    def __init__(self, index: int, image, chip, n_threads: int = N_THREADS):
+        self.index = index
+        self.image = image
+        self.chip = chip
+        self.insns = image.insns
+        self.time = 0.0
+        self.threads = [Thread(i, image.entry) for i in range(n_threads)]
+        self.lm = [0] * LM_WORDS
+        self.cam = CAM()
+        self.rr_next = 0
+        self.executed_instrs = 0
+        self.idle_time = 0.0
+        # Thread paused only by the simulation slice boundary (threads are
+        # non-preemptive: it MUST continue before any other runs).
+        self.resume_thread: Optional[Thread] = None
+
+    # -- scheduling ----------------------------------------------------------------
+
+    def ready_thread(self) -> Optional[Thread]:
+        if self.resume_thread is not None:
+            t = self.resume_thread
+            self.resume_thread = None
+            if not t.halted:
+                return t
+        n = len(self.threads)
+        for k in range(n):
+            t = self.threads[(self.rr_next + k) % n]
+            if not t.halted and t.wake <= self.time:
+                self.rr_next = (t.index + 1) % n
+                return t
+        return None
+
+    def next_wake(self) -> Optional[float]:
+        wakes = [t.wake for t in self.threads if not t.halted]
+        return min(wakes) if wakes else None
+
+    def run_slice(self, max_cycles: float = 400.0) -> Optional[float]:
+        """Run ready threads until none is ready or the slice budget is
+        spent. Returns the absolute time of the next event on this ME
+        (None when all threads halted)."""
+        deadline = self.time + max_cycles
+        while self.time < deadline:
+            t = self.ready_thread()
+            if t is None:
+                nxt = self.next_wake()
+                if nxt is None:
+                    return None
+                if nxt > self.time:
+                    self.idle_time += nxt - self.time
+                    return nxt
+                continue
+            self._run_thread(t, deadline)
+        return self.time
+
+    # -- execution --------------------------------------------------------------------
+
+    def _run_thread(self, t: Thread, deadline: float) -> None:
+        """Execute ``t`` until it blocks, yields, or halts. If the slice
+        budget runs out first, the thread is remembered and continues
+        before any other (hardware threads are non-preemptive)."""
+        insns = self.insns
+        chip = self.chip
+        while True:
+            insn = insns[t.pc]
+            self.executed_instrs += 1
+            self.time += insn.cycles
+            cls = insn.__class__
+            handler = _HANDLERS.get(cls)
+            if handler is None:
+                raise SimError("cannot execute %r" % insn)
+            if handler(self, t, insn):
+                return  # thread blocked / yielded / halted
+            if self.time >= deadline:
+                self.resume_thread = t
+                return
+
+    # -- operand helpers ----------------------------------------------------------------
+
+    def value(self, t: Thread, op) -> int:
+        if type(op) is Imm:
+            return op.value
+        if type(op) is PReg:
+            return t.get(op)
+        if type(op) is SymRef:
+            return self.chip.symbol(op.name) + op.addend
+        raise SimError("bad operand %r" % (op,))
+
+
+# -- instruction handlers (return True if the thread stops running) ---------------------
+
+
+def _h_alu(me: Microengine, t: Thread, insn) -> bool:
+    a = me.value(t, insn.a)
+    b = me.value(t, insn.b)
+    op = insn.op
+    if op == "add":
+        r = a + b
+    elif op == "sub":
+        r = a - b
+    elif op == "and":
+        r = a & b
+    elif op == "or":
+        r = a | b
+    elif op == "xor":
+        r = a ^ b
+    elif op == "shl":
+        r = a << (b & 31)
+    elif op == "lshr":
+        r = (a & _U32) >> (b & 31)
+    elif op == "ashr":
+        r = _signed(a) >> (b & 31)
+    elif op == "mul":
+        r = a * b
+    else:  # pragma: no cover
+        raise SimError("bad alu op %s" % op)
+    t.set(insn.dst, r)
+    t.pc += 1
+    return False
+
+
+def _h_immed(me, t, insn) -> bool:
+    t.set(insn.dst, insn.value)
+    t.pc += 1
+    return False
+
+
+def _h_loadsym(me, t, insn) -> bool:
+    t.set(insn.dst, me.chip.symbol(insn.sym.name) + insn.sym.addend)
+    t.pc += 1
+    return False
+
+
+def _h_mov(me, t, insn) -> bool:
+    t.set(insn.dst, me.value(t, insn.src))
+    t.pc += 1
+    return False
+
+
+def _h_cmp(me, t, insn) -> bool:
+    t.cmp_a = me.value(t, insn.a) & _U32
+    t.cmp_b = me.value(t, insn.b) & _U32
+    t.pc += 1
+    return False
+
+
+def _cond_true(t: Thread, cond: str) -> bool:
+    a, b = t.cmp_a, t.cmp_b
+    if cond == "always":
+        return True
+    if cond == "eq":
+        return a == b
+    if cond == "ne":
+        return a != b
+    if cond == "lt_u":
+        return a < b
+    if cond == "le_u":
+        return a <= b
+    if cond == "gt_u":
+        return a > b
+    if cond == "ge_u":
+        return a >= b
+    sa, sb = _signed(a), _signed(b)
+    if cond == "lt_s":
+        return sa < sb
+    if cond == "le_s":
+        return sa <= sb
+    if cond == "gt_s":
+        return sa > sb
+    if cond == "ge_s":
+        return sa >= sb
+    raise SimError("bad condition %s" % cond)
+
+
+def _h_br(me, t, insn) -> bool:
+    if _cond_true(t, insn.cond):
+        t.pc = insn.resolved
+        me.time += 1  # taken-branch abort cycle
+    else:
+        t.pc += 1
+    return False
+
+
+def _h_bal(me, t, insn) -> bool:
+    t.set(insn.link, t.pc + 1)
+    t.pc = insn.resolved
+    me.time += 1
+    return False
+
+
+def _h_rtn(me, t, insn) -> bool:
+    t.pc = me.value(t, insn.addr)
+    me.time += 1
+    return False
+
+
+def _h_mem(me, t, insn) -> bool:
+    addr = me.value(t, insn.addr_a) + me.value(t, insn.addr_b)
+    mem = me.chip.memory
+    done = mem.timed_access(me.time, insn.space, insn.words, insn.category,
+                            addr=addr)
+    if insn.rw == "read":
+        values = mem.read_words(insn.space, addr, insn.words)
+        for reg, v in zip(insn.regs_out, values):
+            t.set(reg, v)
+    else:
+        values = [me.value(t, r) for r in insn.regs_in]
+        mask = insn.byte_mask
+        if insn.mask_reg is not None:
+            mask = me.value(t, insn.mask_reg)
+        mem.write_words(insn.space, addr, values, mask)
+    t.pc += 1
+    t.wake = done
+    return True  # swap out until the reference completes
+
+
+def _h_ring_get(me, t, insn) -> bool:
+    ring = me.chip.ring_by_symbol(insn.ring.name)
+    done = me.chip.memory.timed_access(me.time, "scratch", 1, insn.category)
+    t.set(insn.dst, ring.get())
+    t.pc += 1
+    t.wake = done
+    return True
+
+
+def _h_ring_put(me, t, insn) -> bool:
+    ring = me.chip.ring_by_symbol(insn.ring.name)
+    done = me.chip.memory.timed_access(me.time, "scratch", 1, insn.category)
+    ring.put(me.value(t, insn.src))
+    t.pc += 1
+    t.wake = done
+    return True
+
+
+def _h_tas(me, t, insn) -> bool:
+    addr = me.value(t, insn.addr_a)
+    done = me.chip.memory.timed_access(me.time, "scratch", 1, isa.CAT_APP)
+    old = me.chip.memory.read_words("scratch", addr, 1)[0]
+    me.chip.memory.write_words("scratch", addr, [1])
+    t.set(insn.dst, old)
+    t.pc += 1
+    t.wake = done
+    return True
+
+
+def _h_release(me, t, insn) -> bool:
+    addr = me.value(t, insn.addr_a)
+    done = me.chip.memory.timed_access(me.time, "scratch", 1, isa.CAT_APP)
+    me.chip.memory.write_words("scratch", addr, [0])
+    t.pc += 1
+    t.wake = done
+    return True
+
+
+def _lm_index(me, t, insn) -> int:
+    idx = insn.offset
+    if insn.base is not None:
+        idx += me.value(t, insn.base)
+    if insn.thread_rel:
+        idx += t.lm_base
+    if not (0 <= idx < LM_WORDS):
+        raise SimError("Local Memory index %d out of range" % idx)
+    return idx
+
+
+def _h_lm_read(me, t, insn) -> bool:
+    t.set(insn.dst, me.lm[_lm_index(me, t, insn)])
+    t.pc += 1
+    return False
+
+
+def _h_lm_write(me, t, insn) -> bool:
+    me.lm[_lm_index(me, t, insn)] = me.value(t, insn.src) & _U32
+    t.pc += 1
+    return False
+
+
+def _h_cam_lookup(me, t, insn) -> bool:
+    t.set(insn.dst, me.cam.lookup(me.value(t, insn.key)))
+    t.pc += 1
+    return False
+
+
+def _h_cam_write(me, t, insn) -> bool:
+    me.cam.write(me.value(t, insn.entry), me.value(t, insn.key))
+    t.pc += 1
+    return False
+
+
+def _h_cam_clear(me, t, insn) -> bool:
+    me.cam.clear()
+    t.pc += 1
+    return False
+
+
+def _h_ctx_arb(me, t, insn) -> bool:
+    t.pc += 1
+    t.wake = me.time + 1
+    return True  # voluntary yield
+
+
+def _h_halt(me, t, insn) -> bool:
+    t.halted = True
+    return True
+
+
+def _h_thread_stack_addr(me, t, insn) -> bool:
+    base = me.chip.symbol("__stack")
+    slot = (me.index * len(me.threads) + t.index) * SRAM_STACK_BYTES_PER_THREAD
+    t.set(insn.dst, base + slot)
+    t.pc += 1
+    return False
+
+
+_HANDLERS: Dict[type, object] = {
+    isa.Alu: _h_alu,
+    isa.Immed: _h_immed,
+    isa.LoadSym: _h_loadsym,
+    isa.Mov: _h_mov,
+    isa.Cmp: _h_cmp,
+    isa.Br: _h_br,
+    isa.Bal: _h_bal,
+    isa.Rtn: _h_rtn,
+    isa.Mem: _h_mem,
+    isa.RingGet: _h_ring_get,
+    isa.RingPut: _h_ring_put,
+    isa.TestAndSet: _h_tas,
+    isa.AtomicRelease: _h_release,
+    isa.LmRead: _h_lm_read,
+    isa.LmWrite: _h_lm_write,
+    isa.CamLookup: _h_cam_lookup,
+    isa.CamWrite: _h_cam_write,
+    isa.CamClear: _h_cam_clear,
+    isa.CtxArb: _h_ctx_arb,
+    isa.Halt: _h_halt,
+    isa.ThreadStackAddr: _h_thread_stack_addr,
+}

@@ -1,0 +1,53 @@
+"""Scratch rings: the hardware-assisted FIFOs used for CCs and free lists."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional
+
+
+class Ring:
+    """A scratch-memory ring of 32-bit words. ``get`` on empty returns 0
+    (the hardware's convention, which is why packet handles are never
+    placed at address 0)."""
+
+    def __init__(self, name: str, capacity: int = 256):
+        self.name = name
+        self.capacity = capacity
+        self.items: Deque[int] = deque()
+        self.puts = 0
+        self.gets = 0
+        self.drops = 0  # rejected puts (ring full)
+
+    def put(self, value: int) -> bool:
+        if len(self.items) >= self.capacity:
+            self.drops += 1
+            return False
+        self.items.append(value & 0xFFFFFFFF)
+        self.puts += 1
+        return True
+
+    def get(self) -> int:
+        if not self.items:
+            return 0
+        self.gets += 1
+        return self.items.popleft()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class RingSet:
+    def __init__(self):
+        self.rings: Dict[str, Ring] = {}
+
+    def create(self, name: str, capacity: int = 256) -> Ring:
+        ring = Ring(name, capacity)
+        self.rings[name] = ring
+        return ring
+
+    def __getitem__(self, name: str) -> Ring:
+        return self.rings[name]
+
+    def get(self, name: str) -> Optional[Ring]:
+        return self.rings.get(name)

@@ -1,0 +1,107 @@
+"""Rx/Tx engines and the traffic source (the IXIA substitute).
+
+On the real IXP2400 two of the eight MEs run Rx and Tx microblocks. We
+model them as dedicated engines: Rx paces packets in at the offered line
+rate (up to 3x1 Gbps), allocates a buffer + metadata from the free
+rings, deposits the frame in DRAM and the handle on the ``rx`` ring; Tx
+drains the ``tx`` ring at line rate, captures payloads for verification
+and recycles buffers. Their packet-data DMA does not contend on the
+modeled ME memory channels (see DESIGN.md), and their accesses are not
+counted in the per-packet access profile -- matching how the paper's
+Table 1 counts application accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.baker.packetmodel import HEADROOM_BYTES, META_USER_BASE
+from repro.ixp.memory import ME_HZ
+from repro.profiler.trace import Trace
+
+GBPS = 1e9
+
+
+@dataclass
+class TxRecord:
+    time: float  # ME cycles
+    payload: bytes
+    rx_port: int
+
+
+class RxEngine:
+    """Paces trace packets onto the rx ring at the offered load."""
+
+    def __init__(self, chip, trace: Trace, offered_gbps: float = 3.0,
+                 max_packets: Optional[int] = None, repeat: bool = True):
+        self.chip = chip
+        self.packets = list(trace.packets)
+        self.offered_gbps = offered_gbps
+        self.max_packets = max_packets
+        self.repeat = repeat
+        self.sent = 0
+        self.dropped = 0
+
+    def interval_cycles(self, frame_bytes: int) -> float:
+        seconds = frame_bytes * 8 / (self.offered_gbps * GBPS)
+        return seconds * ME_HZ
+
+    def inject_next(self) -> Optional[float]:
+        """Inject one packet now; returns the delay until the next
+        injection (None when the trace is exhausted)."""
+        if self.max_packets is not None and self.sent >= self.max_packets:
+            return None
+        if not self.packets:
+            return None
+        tp = self.packets[self.sent % len(self.packets)]
+        if not self.repeat and self.sent >= len(self.packets):
+            return None
+        self.sent += 1
+        self._deliver(tp)
+        return self.interval_cycles(len(tp.data))
+
+    def _deliver(self, tp) -> None:
+        chip = self.chip
+        meta = chip.rings["ring.__meta_free"].get()
+        buf = chip.rings["ring.__buf_free"].get()
+        rx_ring = chip.rings["ring.rx"]
+        if meta == 0 or buf == 0 or len(rx_ring) >= rx_ring.capacity:
+            self.dropped += 1
+            if meta:
+                chip.rings["ring.__meta_free"].put(meta)
+            if buf:
+                chip.rings["ring.__buf_free"].put(buf)
+            return
+        chip.memory.write_bytes("dram", buf + HEADROOM_BYTES, tp.data)
+        words = [buf, HEADROOM_BYTES, len(tp.data), tp.rx_port]
+        words += [0] * (chip.meta_words - len(words))
+        chip.memory.write_words("sram", meta, words)
+        rx_ring.put(meta)
+
+
+class TxEngine:
+    """Drains the tx ring at line rate; records transmitted payloads."""
+
+    def __init__(self, chip, line_gbps: float = 3.0):
+        self.chip = chip
+        self.line_gbps = line_gbps
+        self.busy_until = 0.0
+        self.records: List[TxRecord] = []
+        self.bytes_out = 0
+
+    def poll(self, now: float) -> None:
+        ring = self.chip.rings["ring.tx"]
+        while len(ring) and self.busy_until <= now:
+            meta = ring.get()
+            buf, head, length, port = self.chip.memory.read_words("sram", meta, 4)
+            payload = self.chip.memory.read_bytes("dram", buf + head, length)
+            self.records.append(TxRecord(now, payload, port))
+            self.bytes_out += length
+            tx_cycles = length * 8 / (self.line_gbps * GBPS) * ME_HZ
+            self.busy_until = max(self.busy_until, now) + tx_cycles
+            self.chip.rings["ring.__buf_free"].put(buf)
+            self.chip.rings["ring.__meta_free"].put(meta)
+
+    def packets_out(self) -> int:
+        return len(self.records)

@@ -1,0 +1,2 @@
+"""Optimization passes: scalar (-O1/-O2) and packet-specialized
+(PAC, SOAR, PHR, SWC)."""

@@ -1,0 +1,88 @@
+"""Copy propagation.
+
+Two flavors:
+
+* **Global**: ``dst = src`` where both temps are defined exactly once --
+  ``dst`` is ``src`` everywhere it is used, so uses are rewritten and the
+  copy left for DCE.
+* **Block-local**: a forward scan per block tracking currently-valid
+  copies, which also handles the multi-definition "variable" temps the
+  Baker lowerer produces for mutable locals.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict
+
+from repro.ir import instructions as I
+from repro.ir.module import IRFunction
+from repro.ir.values import Const, Operand, Temp
+
+
+def _global_copy_prop(fn: IRFunction) -> bool:
+    def_counts: Counter = Counter()
+    for instr in fn.all_instrs():
+        for d in instr.defs():
+            def_counts[d] += 1
+    for p in fn.params:
+        def_counts[p] += 1
+
+    mapping: Dict[Temp, Temp] = {}
+    for instr in fn.all_instrs():
+        if (
+            isinstance(instr, I.Assign)
+            and isinstance(instr.src, Temp)
+            and def_counts[instr.dst] == 1
+            and def_counts[instr.src] == 1
+            and instr.dst not in fn.params
+        ):
+            mapping[instr.dst] = instr.src
+    if not mapping:
+        return False
+
+    # Resolve chains (a->b, b->c => a->c).
+    def resolve(t: Temp) -> Temp:
+        seen = set()
+        while t in mapping and t not in seen:
+            seen.add(t)
+            t = mapping[t]
+        return t
+
+    flat = {k: resolve(k) for k in mapping}
+    changed = False
+    for instr in fn.all_instrs():
+        before = list(instr.uses())
+        instr.replace_uses(flat)  # type: ignore[arg-type]
+        if list(instr.uses()) != before:
+            changed = True
+    return changed
+
+
+def _local_copy_prop(fn: IRFunction) -> bool:
+    changed = False
+    for bb in fn.blocks:
+        valid: Dict[Temp, Operand] = {}
+        for instr in bb.all_instrs():
+            if valid:
+                before = list(instr.uses())
+                instr.replace_uses(valid)
+                if list(instr.uses()) != before:
+                    changed = True
+            defs = instr.defs()
+            if defs:
+                for d in defs:
+                    valid.pop(d, None)
+                    for k in [k for k, v in valid.items() if v is d]:
+                        valid.pop(k)
+            if isinstance(instr, I.Assign):
+                src = instr.src
+                if isinstance(src, (Temp, Const)) and src is not instr.dst:
+                    valid[instr.dst] = src
+    return changed
+
+
+def run(fn: IRFunction) -> bool:
+    a = _global_copy_prop(fn)
+    b = _local_copy_prop(fn)
+    return a or b

@@ -1,0 +1,42 @@
+"""Dead code elimination.
+
+Removes side-effect-free instructions whose results are never used
+(including loads, which are idempotent in Baker's memory model), plus
+empty self-assignments. Iterates to fixpoint since removing one dead
+instruction can kill the operands feeding it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.ir.module import IRFunction
+from repro.ir.values import Temp
+
+
+def run(fn: IRFunction) -> bool:
+    changed_any = False
+    while True:
+        use_counts: Counter = Counter()
+        for instr in fn.all_instrs():
+            for u in instr.uses():
+                if isinstance(u, Temp):
+                    use_counts[u] += 1
+        changed = False
+        for bb in fn.blocks:
+            kept = []
+            for instr in bb.instrs:
+                defs = instr.defs()
+                removable = (
+                    not instr.side_effects
+                    and defs
+                    and all(use_counts[d] == 0 for d in defs)
+                )
+                if removable:
+                    changed = True
+                else:
+                    kept.append(instr)
+            bb.instrs = kept
+        changed_any = changed_any or changed
+        if not changed:
+            return changed_any

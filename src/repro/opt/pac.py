@@ -1,0 +1,666 @@
+"""PAC: packet access combining (paper section 5.3.1).
+
+Combines multiple protocol-field accesses through the same packet handle
+into a single wide DRAM access (the IXP reads/writes up to 64 B of DRAM
+per memory instruction). Combining criteria, following the paper:
+
+* the ``packet_handle``\\ s must be equal -- here: same must-alias class
+  (see :mod:`repro.opt.aliases`);
+* the accessed ranges must fall within one maximum-width window (64 B);
+* dominance: an access is only absorbed into one that dominates it;
+* no data dependence may be violated: for loads, no intervening store
+  overlapping the absorbed bytes and no head movement (encap/decap/...)
+  between the accesses; for stores, no intervening load of already-
+  buffered bytes, with the merged store placed at the last member.
+
+Loads are combinable across basic blocks (the wide load is a safe
+speculative widening when the leader dominates the absorbed access and
+the head-position epoch provably matches). Stores are combined within a
+basic block, which is where back-to-back header rewrites occur in
+practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.baker import types as T
+from repro.ir import instructions as I
+from repro.ir.cfg import compute_cfg, reverse_postorder
+from repro.ir.dominators import DomTree, dominator_tree
+from repro.ir.module import BasicBlock, IRFunction, IRModule
+from repro.ir.values import Const, Operand, Temp
+from repro.opt.aliases import AliasClasses, mutates_class
+
+# One DRAM instruction moves at most 64 B; the combining window is kept
+# slightly narrower so a misaligned window (the head need not be 8 B
+# aligned) still fits one instruction in the common case.
+MAX_COMBINE_BYTES = 56
+
+
+@dataclass
+class PacResult:
+    combined_loads: int = 0  # original field loads folded into wide loads
+    combined_stores: int = 0
+    wide_loads: int = 0
+    wide_stores: int = 0
+    combined_global_loads: int = 0  # application loads coalesced
+    wide_global_loads: int = 0
+
+
+# Widest single SRAM instruction: 8 words.
+MAX_GLOBAL_COMBINE_BYTES = 32
+
+
+def run(mod: IRModule) -> PacResult:
+    result = PacResult()
+    for fn in mod.functions.values():
+        _combine_function(fn, result)
+        _combine_global_loads(fn, result)
+    return result
+
+
+# -- per-function driver ---------------------------------------------------------
+
+
+@dataclass
+class _Access:
+    bb: BasicBlock
+    index: int
+    instr: I.Instr
+    cls: Temp
+    bit_off: int
+    bit_width: int
+    epoch: Optional[int]
+    wide: bool = False  # PktLoadWords/PktStoreWords from an earlier pass
+
+    @property
+    def bit_end(self) -> int:
+        return self.bit_off + self.bit_width
+
+    def covered_bits(self):
+        """Bits actually accessed (wide stores may be byte-masked)."""
+        if self.wide and isinstance(self.instr, I.PktStoreWords):
+            bits = set()
+            for i, mask in enumerate(self.instr.byte_masks):
+                for b in range(4):
+                    if mask & (1 << (3 - b)):
+                        byte = self.instr.byte_off + i * 4 + b
+                        bits.update(range(byte * 8, byte * 8 + 8))
+            return bits
+        return set(range(self.bit_off, self.bit_end))
+
+
+def _combine_function(fn: IRFunction, result: PacResult) -> None:
+    compute_cfg(fn)
+    aliases = AliasClasses(fn)
+    if not aliases.classes():
+        return
+    # Distinct alias classes are provably distinct packets only when each
+    # roots at the (single) PPF parameter, a packet_copy or packet_create.
+    # A support function taking two handle parameters could be called with
+    # aliases of one packet; skip combining there (cold code anyway).
+    param_classes = {aliases.class_of(p) for p in fn.params if p.type.is_packet}
+    if len(param_classes) > 1:
+        return
+    dom = dominator_tree(fn)
+    order = {bb: i for i, bb in enumerate(reverse_postorder(fn))}
+
+    epochs = {cls: _class_epochs(fn, aliases, cls) for cls in aliases.classes()}
+
+    loads: List[_Access] = []
+    stores: List[_Access] = []
+    for bb in fn.blocks:
+        if bb not in order:
+            continue
+        for idx, instr in enumerate(bb.instrs):
+            if not isinstance(instr, (I.PktLoadField, I.PktStoreField,
+                                      I.PktLoadWords, I.PktStoreWords)):
+                continue
+            if not isinstance(instr.ph, Temp):
+                continue
+            cls = aliases.class_of(instr.ph)
+            epoch = _epoch_at(bb, idx, epochs[cls])
+            if isinstance(instr, (I.PktLoadWords, I.PktStoreWords)):
+                acc = _Access(bb, idx, instr, cls, instr.byte_off * 8,
+                              instr.nwords * 32, epoch, wide=True)
+            else:
+                acc = _Access(bb, idx, instr, cls, instr.bit_off,
+                              instr.bit_width, epoch)
+            is_load = isinstance(instr, (I.PktLoadField, I.PktLoadWords))
+            (loads if is_load else stores).append(acc)
+
+    replacements: Dict[BasicBlock, Dict[int, List[I.Instr]]] = {}
+
+    _combine_loads(fn, loads, dom, order, aliases, replacements, result)
+    _combine_stores(fn, stores, aliases, replacements, result)
+
+    for bb, repl in replacements.items():
+        new_instrs: List[I.Instr] = []
+        for idx, instr in enumerate(bb.instrs):
+            if idx in repl:
+                new_instrs.extend(repl[idx])
+            else:
+                new_instrs.append(instr)
+        bb.instrs = new_instrs
+
+
+# -- epochs: how many head-moving/packet-mutating events precede a point -----------
+
+
+def _class_epochs(fn: IRFunction, aliases: AliasClasses, cls: Temp):
+    """Block-entry epoch values for one alias class: an integer if every
+    path agrees, else None (bottom). The epoch counts head movements,
+    releases AND field stores, so equal epochs imply no interference."""
+
+    def bumps(instr: I.Instr) -> bool:
+        if mutates_class(instr, aliases, cls):
+            return True
+        if isinstance(instr, (I.PktStoreField, I.PktStoreWords)) and isinstance(
+            instr.ph, Temp
+        ):
+            return aliases.same(instr.ph, cls)
+        return False
+
+    block_bumps = {bb: sum(1 for i in bb.all_instrs() if bumps(i)) for bb in fn.blocks}
+
+    TOP = object()
+    BOT = object()
+    entry: Dict[BasicBlock, object] = {bb: TOP for bb in fn.blocks}
+    entry[fn.entry] = 0
+    changed = True
+    guard = 0
+    while changed and guard < 4 * len(fn.blocks) + 16:
+        guard += 1
+        changed = False
+        for bb in fn.blocks:
+            value = entry[bb]
+            if value is TOP:
+                continue
+            out = BOT if value is BOT else value + block_bumps[bb]
+            for succ in bb.succs:
+                cur = entry[succ]
+                new = out if cur is TOP else (cur if cur == out else BOT)
+                if new is not cur and new != cur:
+                    entry[succ] = new
+                    changed = True
+    return {
+        "entry": {bb: (v if isinstance(v, int) else None) for bb, v in entry.items()},
+        "bumps": block_bumps,
+        "bump_fn": bumps,
+    }
+
+
+def _epoch_at(bb: BasicBlock, index: int, epochs) -> Optional[int]:
+    base = epochs["entry"].get(bb)
+    if base is None:
+        return None
+    bump = epochs["bump_fn"]
+    return base + sum(1 for i in bb.instrs[:index] if bump(i))
+
+
+# -- load combining ----------------------------------------------------------------
+
+
+def _combine_loads(fn, loads: List[_Access], dom: DomTree, order, aliases,
+                   replacements, result: PacResult) -> None:
+    loads = sorted(loads, key=lambda a: (order.get(a.bb, 1 << 30), a.index))
+    used = set()
+    for i, leader in enumerate(loads):
+        if id(leader.instr) in used or leader.epoch is None:
+            continue
+        group = [leader]
+        span = [leader.bit_off, leader.bit_end]
+        for follower in loads[i + 1 :]:
+            if id(follower.instr) in used or follower.cls is not leader.cls:
+                continue
+            if follower.bb is leader.bb:
+                # Fine-grained same-block check subsumes the epoch test.
+                if not _block_path_clear(leader, follower, aliases):
+                    continue
+            else:
+                if follower.epoch is None or follower.epoch != leader.epoch:
+                    continue
+                if not dom.strictly_dominates(leader.bb, follower.bb):
+                    continue
+            new_lo = min(span[0], follower.bit_off)
+            new_hi = max(span[1], follower.bit_end)
+            if _span_bytes(new_lo, new_hi) > MAX_COMBINE_BYTES:
+                continue
+            group.append(follower)
+            span[0], span[1] = new_lo, new_hi
+        if len(group) < 2:
+            continue
+        _rewrite_load_group(fn, group, span, replacements, result)
+        for acc in group:
+            used.add(id(acc.instr))
+
+
+def _block_path_clear(leader: _Access, follower: _Access, aliases) -> bool:
+    """Same-block check: between the two loads there is no head movement
+    or release of the class, and no store overlapping the follower's
+    bytes."""
+    bb = leader.bb
+    for instr in bb.instrs[leader.index + 1 : follower.index]:
+        if mutates_class(instr, aliases, leader.cls):
+            return False
+        if isinstance(instr, I.PktStoreField):
+            if instr.bit_off < follower.bit_end and follower.bit_off < (
+                instr.bit_off + instr.bit_width
+            ):
+                return False
+        elif isinstance(instr, I.PktStoreWords):
+            lo = instr.byte_off * 8
+            hi = lo + instr.nwords * 32
+            if lo < follower.bit_end and follower.bit_off < hi:
+                return False
+    return True
+
+
+def _span_bytes(lo_bit: int, hi_bit: int) -> int:
+    start = (lo_bit // 32) * 4
+    end = ((hi_bit + 31) // 32) * 4
+    return end - start
+
+
+def _rewrite_load_group(fn: IRFunction, group: List[_Access], span,
+                        replacements, result: PacResult) -> None:
+    leader = group[0]
+    start_byte = (span[0] // 32) * 4
+    end_byte = ((span[1] + 31) // 32) * 4
+    nwords = (end_byte - start_byte) // 4
+    words = [fn.new_temp(T.U32, "pac_w%d" % k) for k in range(nwords)]
+    wide = I.PktLoadWords(words, leader.instr.ph, start_byte, nwords)
+    wide.copy_annotations_from(leader.instr)
+    wide.c_offset_bits = getattr(leader.instr, "c_offset_bits", None)
+    wide.c_alignment = getattr(leader.instr, "c_alignment", None)
+
+    for acc in group:
+        seq: List[I.Instr] = []
+        if acc is leader:
+            seq.append(wide)
+        if acc.wide:
+            for i, dst in enumerate(acc.instr.dsts):
+                extract_into(fn, seq, words, start_byte * 8,
+                             acc.bit_off + 32 * i, 32, dst)
+        else:
+            extract_into(fn, seq, words, start_byte * 8,
+                         acc.bit_off, acc.bit_width, acc.instr.dst)
+        replacements.setdefault(acc.bb, {})[acc.index] = seq
+    result.wide_loads += 1
+    result.combined_loads += len(group)
+
+
+def extract_into(fn: IRFunction, out: List[I.Instr], words: List[Temp],
+                 span_start_bits: int, bit_off: int, width: int, dst: Temp) -> None:
+    """Emit shift/mask IR computing a bit-field from preloaded words."""
+    rel = bit_off - span_start_bits
+    first = rel // 32
+    last = (rel + width - 1) // 32
+    wide = width > 32
+    vtype = T.U64 if wide else T.U32
+
+    def temp() -> Temp:
+        return fn.new_temp(vtype)
+
+    if first == last:
+        w = words[first]
+        shift = 32 - (rel % 32) - width
+        if width == 32:
+            out.append(I.Assign(dst, w))
+            return
+        t1 = temp()
+        if shift:
+            out.append(I.BinOp("lshr", t1, w, Const(shift)))
+        else:
+            out.append(I.Assign(t1, w))
+        out.append(I.BinOp("and", dst, t1, Const((1 << width) - 1, vtype)))
+        return
+
+    # Multi-word: accumulate big-endian into a (possibly 64-bit) value.
+    acc: Optional[Temp] = None
+    covered = 0  # bits of the field produced so far
+    pos = rel
+    remaining = width
+    for wi in range(first, last + 1):
+        word_lo = wi * 32
+        word_hi = word_lo + 32
+        take_lo = max(pos, word_lo)
+        take_hi = min(rel + width, word_hi)
+        nbits = take_hi - take_lo
+        # Extract nbits from this word, right-aligned.
+        part = temp()
+        shift_right = word_hi - take_hi
+        if shift_right:
+            out.append(I.BinOp("lshr", part, words[wi], Const(shift_right)))
+        else:
+            out.append(I.Assign(part, words[wi]))
+        if nbits < 32:
+            masked = temp()
+            out.append(I.BinOp("and", masked, part, Const((1 << nbits) - 1, vtype)))
+            part = masked
+        if acc is None:
+            acc = part
+        else:
+            shifted = temp()
+            out.append(I.BinOp("shl", shifted, acc, Const(nbits)))
+            merged = temp()
+            out.append(I.BinOp("or", merged, shifted, part))
+            acc = merged
+        covered += nbits
+        pos = take_hi
+    assert acc is not None and covered == width
+    out.append(I.Assign(dst, acc))
+
+
+# -- store combining ----------------------------------------------------------------
+
+
+def _combine_stores(fn, stores: List[_Access], aliases, replacements,
+                    result: PacResult) -> None:
+    by_block: Dict[BasicBlock, List[_Access]] = {}
+    for acc in stores:
+        by_block.setdefault(acc.bb, []).append(acc)
+    for bb, accs in by_block.items():
+        accs.sort(key=lambda a: a.index)
+        i = 0
+        while i < len(accs):
+            group = [accs[i]]
+            span = [accs[i].bit_off, accs[i].bit_end]
+            j = i + 1
+            while j < len(accs):
+                cand = accs[j]
+                if cand.cls is not group[0].cls:
+                    j += 1
+                    continue
+                if not _store_path_clear(bb, group, cand, aliases):
+                    break
+                new_lo = min(span[0], cand.bit_off)
+                new_hi = max(span[1], cand.bit_end)
+                if _span_bytes(new_lo, new_hi) > MAX_COMBINE_BYTES:
+                    break
+                group.append(cand)
+                span[0], span[1] = new_lo, new_hi
+                j += 1
+            if len(group) >= 2 and _byte_coverage_ok(group):
+                _rewrite_store_group(fn, bb, group, span, replacements, result)
+                i = j
+            else:
+                i += 1
+
+
+def _store_path_clear(bb: BasicBlock, group: List[_Access], cand: _Access,
+                      aliases) -> bool:
+    """No head movement / release between the group's first store and the
+    candidate, and no load reading bytes buffered by earlier members
+    (their memory write is deferred to the merged store's position)."""
+    first = group[0].index
+    buffered = [(g.bit_off, g.bit_end) for g in group]
+    cls = group[0].cls
+    for instr in bb.instrs[first + 1 : cand.index]:
+        if mutates_class(instr, aliases, cls):
+            return False
+        if isinstance(instr, (I.PktLoadField, I.PktLoadWords)) and isinstance(
+            instr.ph, Temp
+        ) and aliases.same(instr.ph, cls):
+            if isinstance(instr, I.PktLoadWords):
+                lo, hi = instr.byte_off * 8, (instr.byte_off + instr.nwords * 4) * 8
+            else:
+                lo, hi = instr.bit_off, instr.bit_off + instr.bit_width
+            for blo, bhi in buffered:
+                if lo < bhi and blo < hi:
+                    return False
+    return True
+
+
+def _byte_coverage_ok(group: List[_Access]) -> bool:
+    """Every byte touched by the group must be fully covered (the merged
+    store masks at byte granularity)."""
+    bits = set()
+    for acc in group:
+        bits.update(acc.covered_bits())
+    for byte in {b // 8 for b in bits}:
+        if not all(byte * 8 + k in bits for k in range(8)):
+            return False
+    return True
+
+
+def _store_segments(fn: IRFunction, seq: List[I.Instr], acc: _Access):
+    """Decompose one store access into (bit_off, width, value, value_width)
+    segments. Field stores are one segment; wide stores contribute one
+    segment per maximal run of masked bytes in each word (the run is
+    pre-extracted into a temp)."""
+    if not acc.wide:
+        width = acc.bit_width
+        return [(acc.bit_off, width, acc.instr.value, width)]
+    segments = []
+    instr: I.PktStoreWords = acc.instr  # type: ignore[assignment]
+    for i in range(instr.nwords):
+        mask = instr.byte_masks[i]
+        if mask == 0:
+            continue
+        covered = [b for b in range(4) if mask & (1 << (3 - b))]
+        runs = []
+        start = covered[0]
+        prev = covered[0]
+        for b in covered[1:]:
+            if b == prev + 1:
+                prev = b
+            else:
+                runs.append((start, prev))
+                start = prev = b
+        runs.append((start, prev))
+        for b0, b1 in runs:
+            width = (b1 - b0 + 1) * 8
+            # Right-align the run's bits within the word.
+            shift = (3 - b1) * 8
+            value: Operand = instr.values[i]
+            if shift:
+                t = fn.new_temp(T.U32)
+                seq.append(I.BinOp("lshr", t, value, Const(shift)))
+                value = t
+            bit = (instr.byte_off + i * 4 + b0) * 8
+            segments.append((bit, width, value, width))
+    return segments
+
+
+def _rewrite_store_group(fn: IRFunction, bb: BasicBlock, group: List[_Access],
+                         span, replacements, result: PacResult) -> None:
+    start_byte = (span[0] // 32) * 4
+    end_byte = ((span[1] + 31) // 32) * 4
+    nwords = (end_byte - start_byte) // 4
+    last = group[-1]
+
+    seq: List[I.Instr] = []
+    all_segments = []
+    for acc in group:
+        all_segments.extend(_store_segments(fn, seq, acc))
+
+    values: List[Operand] = []
+    masks: List[int] = []
+    for wi in range(nwords):
+        acc_parts: List[Operand] = []
+        word_lo = start_byte * 8 + wi * 32
+        word_hi = word_lo + 32
+        mask = 0
+        for seg_off, seg_width, seg_value, _vw in all_segments:
+            ov_lo = max(seg_off, word_lo)
+            ov_hi = min(seg_off + seg_width, word_hi)
+            if ov_lo >= ov_hi:
+                continue
+            part = _segment_part(fn, seq, seg_off, seg_width, seg_value,
+                                 ov_lo, ov_hi, word_lo)
+            acc_parts.append(part)
+            for bit in range(ov_lo, ov_hi):
+                byte_in_word = (bit - word_lo) // 8
+                mask |= 1 << (3 - byte_in_word)
+        if not acc_parts:
+            values.append(Const(0))
+            masks.append(0)
+            continue
+        word_val = acc_parts[0]
+        for part in acc_parts[1:]:
+            merged = fn.new_temp(T.U32)
+            seq.append(I.BinOp("or", merged, word_val, part))
+            word_val = merged
+        values.append(word_val)
+        masks.append(mask)
+
+    wide = I.PktStoreWords(last.instr.ph, start_byte, nwords, values, masks)
+    wide.copy_annotations_from(last.instr)
+    wide.c_offset_bits = getattr(last.instr, "c_offset_bits", None)
+    wide.c_alignment = getattr(last.instr, "c_alignment", None)
+    seq.append(wide)
+
+    for acc in group:
+        replacements.setdefault(bb, {})[acc.index] = [] if acc is not last else seq
+    result.wide_stores += 1
+    result.combined_stores += len(group)
+
+
+def _segment_part(fn: IRFunction, seq: List[I.Instr], seg_off: int,
+                  seg_width: int, value: Operand,
+                  ov_lo: int, ov_hi: int, word_lo: int) -> Operand:
+    """The contribution of one stored segment to one 32-bit word: the
+    segment's bits in [ov_lo, ov_hi) positioned at the right bit offsets.
+    ``value`` holds the segment right-aligned (LSBs)."""
+    width = seg_width
+    # Bits of the segment (0 = MSB) that land in this word:
+    f_hi = ov_hi - seg_off
+    nbits = ov_hi - ov_lo
+    wide = width > 32
+    vtype = T.U64 if wide else T.U32
+
+    # part = (value >> (width - f_hi)) & mask(nbits)
+    drop = width - f_hi
+    part: Operand = value
+    if drop:
+        t = fn.new_temp(vtype)
+        seq.append(I.BinOp("lshr", t, part, Const(drop)))
+        part = t
+    if nbits < 32 or wide:
+        t = fn.new_temp(T.U32)
+        seq.append(I.BinOp("and", t, part,
+                           Const((1 << nbits) - 1, T.U64 if wide else T.U32)))
+        part = t
+    # Position within the word (MSB-first): left shift by 32 - (ov_hi - word_lo).
+    lshift = 32 - (ov_hi - word_lo)
+    if lshift:
+        t = fn.new_temp(T.U32)
+        seq.append(I.BinOp("shl", t, part, Const(lshift)))
+        part = t
+    return part
+
+
+# -- global (application-data) load combining -----------------------------------------
+
+
+def _single_defs_of(fn: IRFunction):
+    from collections import Counter
+
+    counts = Counter()
+    defs = {}
+    for instr in fn.all_instrs():
+        for d in instr.defs():
+            counts[d] += 1
+            defs[d] = instr
+    return {t: i for t, i in defs.items() if counts[t] == 1}
+
+
+def _normalize_offset(op, single_defs, depth: int = 0):
+    """Decompose an offset operand into (base_key, constant byte delta):
+    walks single-definition chains through `+ const` and `<< const`, so
+    ``(row + 3) << 2`` and ``(row + 7) << 2`` share a base and differ by
+    a known 16 bytes."""
+    if isinstance(op, Const):
+        return ("c",), op.value
+    if depth > 6 or not isinstance(op, Temp):
+        return ("t", id(op)), 0
+    d = single_defs.get(op)
+    if isinstance(d, I.BinOp) and d.op == "add":
+        if isinstance(d.b, Const):
+            key, delta = _normalize_offset(d.a, single_defs, depth + 1)
+            return key, delta + d.b.value
+        if isinstance(d.a, Const):
+            key, delta = _normalize_offset(d.b, single_defs, depth + 1)
+            return key, delta + d.a.value
+    if isinstance(d, I.BinOp) and d.op == "shl" and isinstance(d.b, Const):
+        key, delta = _normalize_offset(d.a, single_defs, depth + 1)
+        return ("shl", key, d.b.value), delta << d.b.value
+    return ("t", id(op)), 0
+
+
+def _combine_global_loads(fn: IRFunction, result: PacResult) -> None:
+    """Coalesce same-block 32-bit loads of one global whose offsets share
+    a dynamic base and differ by known constants into one wide access."""
+    single_defs = _single_defs_of(fn)
+    for bb in fn.blocks:
+        groups = {}  # (g, base_key) -> list of (index, instr, delta)
+        rewrites = []  # finished groups
+
+        def flush(key=None):
+            keys = [key] if key is not None else list(groups)
+            for k in keys:
+                group = groups.pop(k, None)
+                if group and len(group) >= 2:
+                    rewrites.append(group)
+
+        for idx, instr in enumerate(bb.instrs):
+            if isinstance(instr, I.LoadG) and instr.width == 4:
+                base_key, delta = _normalize_offset(instr.offset, single_defs)
+                if delta % 4 == 0:
+                    gkey = (instr.g, base_key)
+                    group = groups.setdefault(gkey, [])
+                    deltas = [d for _, _, d in group] + [delta]
+                    if max(deltas) - min(deltas) + 4 <= MAX_GLOBAL_COMBINE_BYTES:
+                        group.append((idx, instr, delta))
+                    else:
+                        flush(gkey)
+                        groups[gkey] = [(idx, instr, delta)]
+                    continue
+            if isinstance(instr, I.StoreG):
+                flush()  # conservative: any store may alias a pending group
+            elif isinstance(instr, (I.Call, I.LockAcquire, I.LockRelease)):
+                flush()
+        flush()
+
+        if not rewrites:
+            continue
+        replacements = {}
+        for group in rewrites:
+            group.sort(key=lambda row: row[2])
+            first_idx = min(idx for idx, _, _ in group)
+            min_delta = group[0][2]
+            max_delta = group[-1][2]
+            nwords = (max_delta - min_delta) // 4 + 1
+            g = group[0][1].g
+            words = [fn.new_temp(T.U32, "gac_w%d" % i) for i in range(nwords)]
+            seq = []
+            # Base operand: the lowest-delta member's own offset value.
+            anchor = group[0][1].offset
+            anchor_owner_idx = group[0][0]
+            if anchor_owner_idx != first_idx and isinstance(anchor, Temp):
+                # The anchor temp is defined before its load, which may be
+                # after first_idx; recompute from the first member instead.
+                lead = next(row for row in group if row[0] == first_idx)
+                base = fn.new_temp(T.U32, "gac_off")
+                shift = lead[2] - min_delta
+                seq.append(I.BinOp("sub", base, lead[1].offset, Const(shift)))
+                anchor = base
+            seq.append(I.LoadGWords(words, g, anchor, nwords))
+            for idx, load, delta in group:
+                word = words[(delta - min_delta) // 4]
+                if idx == first_idx:
+                    replacements[idx] = seq + [I.Assign(load.dst, word)]
+                else:
+                    replacements[idx] = [I.Assign(load.dst, word)]
+            result.wide_global_loads += 1
+            result.combined_global_loads += len(group)
+        new_instrs = []
+        for idx, instr in enumerate(bb.instrs):
+            if idx in replacements:
+                new_instrs.extend(replacements[idx])
+            else:
+                new_instrs.append(instr)
+        bb.instrs = new_instrs

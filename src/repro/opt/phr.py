@@ -1,0 +1,280 @@
+"""PHR: packet handling removal (paper section 5.3.3).
+
+Two transformations:
+
+1. **Metadata localization** -- a user metadata field whose every access
+   occurs in one aggregate function (through one alias class) never needs
+   its SRAM metadata slot: accesses become moves through a temp.
+
+2. **Encapsulation elimination** -- a ``packet_encap``/``packet_decap``
+   whose incoming head offset is statically known (SOAR) does not need to
+   update the packet's ``head_ptr`` in SRAM metadata. The head movement
+   is *deferred*: downstream accesses are re-based onto the stale head
+   (their offsets adjusted by the pending delta) and a single
+   ``PktSyncHead`` materializes the net movement right before the packet
+   escapes (``channel_put``, a dynamic-offset primitive, a call...).
+   Paired encap/decap with net delta zero vanish entirely -- the paper's
+   paired-elimination special case falls out for free.
+
+Run after SOAR (consumes its annotations), before packet lowering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.baker import types as T
+from repro.baker.packetmodel import META_USER_BASE
+from repro.ir import instructions as I
+from repro.ir.cfg import compute_cfg, reverse_postorder
+from repro.ir.module import BasicBlock, IRFunction, IRModule
+from repro.ir.values import Const, Temp
+from repro.opt.aliases import AliasClasses
+
+
+@dataclass
+class PhrResult:
+    localized_meta_fields: List[str] = field(default_factory=list)
+    elided_encaps: int = 0
+    syncs_inserted: int = 0
+
+
+def run(mod: IRModule) -> PhrResult:
+    result = PhrResult()
+    _localize_metadata(mod, result)
+    for fn in mod.functions.values():
+        _elide_encaps(fn, result)
+    return result
+
+
+# -- metadata localization -----------------------------------------------------------
+
+
+def _localize_metadata(mod: IRModule, result: PhrResult) -> None:
+    # field name -> list of (function, instr); builtin words are never localized.
+    sites: Dict[str, List[Tuple[IRFunction, I.Instr]]] = {}
+    for fn in mod.functions.values():
+        for instr in fn.all_instrs():
+            if isinstance(instr, (I.MetaLoad, I.MetaStore)) and instr.word >= META_USER_BASE:
+                sites.setdefault(instr.field, []).append((fn, instr))
+
+    for fname, accesses in sites.items():
+        fns = {fn for fn, _ in accesses}
+        if len(fns) != 1:
+            continue
+        fn = next(iter(fns))
+        aliases = AliasClasses(fn)
+        classes = {
+            aliases.class_of(instr.ph)
+            for _, instr in accesses
+            if isinstance(instr.ph, Temp)
+        }
+        if len(classes) != 1:
+            continue
+        # Copies inherit metadata; if the class's packets are ever copied,
+        # the single temp would incorrectly couple the two packets.
+        if any(isinstance(i, I.PktCopy) for i in fn.all_instrs()):
+            continue
+        local = fn.new_temp(T.U32, "meta_%s" % fname)
+        init = I.Assign(local, Const(0))
+        fn.entry.instrs.insert(0, init)
+        for bb in fn.blocks:
+            for idx, instr in enumerate(bb.instrs):
+                if isinstance(instr, I.MetaLoad) and instr.field == fname:
+                    bb.instrs[idx] = I.Assign(instr.dst, local)
+                elif isinstance(instr, I.MetaStore) and instr.field == fname:
+                    bb.instrs[idx] = I.Assign(local, instr.value)
+        result.localized_meta_fields.append(fname)
+
+
+# -- encap/decap elision ---------------------------------------------------------------
+
+
+def _elide_encaps(fn: IRFunction, result: PhrResult) -> None:
+    compute_cfg(fn)
+    aliases = AliasClasses(fn)
+    classes = aliases.classes()
+    if not classes:
+        return
+    order = reverse_postorder(fn)
+
+    # Phase 1: fixpoint on per-block-entry pending deltas (per class).
+    # pending: int = deferred head movement not yet in metadata.
+    # A mismatch at a join forces a sync at the end of each incoming pred.
+    TOP = object()
+    entry: Dict[BasicBlock, Dict[Temp, object]] = {
+        bb: {c: TOP for c in classes} for bb in order
+    }
+    for c in classes:
+        entry[fn.entry][c] = 0
+    forced_syncs: Dict[Tuple[BasicBlock, Temp], int] = {}
+
+    for _ in range(4 * len(order) + 16):
+        changed = False
+        for bb in order:
+            out = _simulate_block(bb, entry[bb], aliases, classes, forced_syncs)
+            for succ in bb.succs:
+                if succ not in entry:
+                    continue
+                for c in classes:
+                    cur = entry[succ][c]
+                    new = out[c]
+                    if cur is TOP:
+                        if new is not TOP and cur != new:
+                            entry[succ][c] = new
+                            changed = True
+                    elif new is not TOP and cur != new:
+                        # Join mismatch: force syncs on every pred edge.
+                        for pred in succ.preds:
+                            pout = _simulate_block(pred, entry[pred], aliases,
+                                                   classes, forced_syncs)
+                            if isinstance(pout.get(c), int) and pout[c] != 0:
+                                forced_syncs[(pred, c)] = pout[c]
+                        entry[succ][c] = 0
+                        changed = True
+        if not changed:
+            break
+
+    # Phase 2: rewrite.
+    for bb in order:
+        pending: Dict[Temp, int] = {
+            c: (v if isinstance(v, int) else 0) for c, v in entry[bb].items()
+        }
+        new_instrs: List[I.Instr] = []
+        for instr in bb.instrs:
+            _rewrite_instr(fn, instr, pending, aliases, new_instrs, result)
+        for c in classes:
+            if forced_syncs.get((bb, c)) and pending.get(c, 0):
+                ph = _handle_for_class(fn, aliases, c)
+                if ph is not None:
+                    new_instrs.append(I.PktSyncHead(ph, pending[c]))
+                    result.syncs_inserted += 1
+                    pending[c] = 0
+        bb.instrs = new_instrs
+
+
+def _simulate_block(bb: BasicBlock, entry_state, aliases, classes, forced_syncs):
+    out = {c: entry_state[c] for c in classes}
+    for instr in bb.instrs:
+        cls = _class_target(instr, aliases)
+        if cls is None:
+            continue
+        if isinstance(instr, (I.PktEncap, I.PktDecap)) and _elidable(instr):
+            delta = instr.header_bytes if isinstance(instr, I.PktDecap) else -instr.header_bytes
+            if isinstance(out.get(cls), int):
+                out[cls] = out[cls] + delta
+        elif _is_escape(instr):
+            if isinstance(out.get(cls), int):
+                out[cls] = 0
+    for c in classes:
+        if (bb, c) in forced_syncs and isinstance(out.get(c), int):
+            out[c] = 0
+    return out
+
+
+def _class_target(instr: I.Instr, aliases: AliasClasses) -> Optional[Temp]:
+    ph = None
+    if isinstance(instr, (I.PktEncap, I.PktDecap, I.PktCopy)):
+        ph = instr.src
+    elif isinstance(instr, (I.PktLoadField, I.PktStoreField, I.PktLoadWords,
+                            I.PktStoreWords, I.MetaLoad, I.MetaStore,
+                            I.PktLength, I.PktAdjust, I.PktDrop, I.PktSyncHead)):
+        ph = instr.ph
+    elif isinstance(instr, I.ChanPut):
+        ph = instr.ph
+    elif isinstance(instr, I.Call):
+        for a in instr.args:
+            if isinstance(a, Temp) and a.type.is_packet:
+                ph = a
+                break
+    if isinstance(ph, Temp) and ph.type.is_packet:
+        return aliases.class_of(ph)
+    return None
+
+
+def _elidable(instr) -> bool:
+    """Encap/decap with a statically known incoming head offset and a
+    constant header size needs no runtime head_ptr update."""
+    return (
+        instr.header_bytes is not None
+        and getattr(instr, "c_offset_bits", None) is not None
+    )
+
+
+def _is_escape(instr: I.Instr) -> bool:
+    """Instructions whose lowering reads or writes the real head/len (or,
+    for drops, after which the pending delta no longer matters)."""
+    if isinstance(instr, (I.ChanPut, I.PktAdjust, I.PktCopy, I.Call, I.PktDrop)):
+        return True
+    if isinstance(instr, (I.PktEncap, I.PktDecap)) and not _elidable(instr):
+        return True
+    return False
+
+
+def _rewrite_instr(fn: IRFunction, instr: I.Instr, pending: Dict[Temp, int],
+                   aliases: AliasClasses, out: List[I.Instr],
+                   result: PhrResult) -> None:
+    cls = _class_target(instr, aliases)
+    d = pending.get(cls, 0) if cls is not None else 0
+
+    if isinstance(instr, (I.PktEncap, I.PktDecap)) and _elidable(instr):
+        delta = instr.header_bytes if isinstance(instr, I.PktDecap) else -instr.header_bytes
+        pending[cls] = d + delta
+        out.append(I.Assign(instr.dst, instr.src))
+        result.elided_encaps += 1
+        return
+
+    if cls is not None and d != 0:
+        if isinstance(instr, (I.PktLoadField, I.PktStoreField)):
+            # Re-base onto the stale (synced) head: the access offset
+            # absorbs the pending delta and the static head annotation
+            # moves back by the same amount.
+            instr.bit_off += d * 8
+            if instr.c_offset_bits is not None:
+                instr.c_offset_bits -= d * 8
+            out.append(instr)
+            return
+        if isinstance(instr, (I.PktLoadWords, I.PktStoreWords)):
+            instr.byte_off += d
+            if instr.c_offset_bits is not None:
+                instr.c_offset_bits -= d * 8
+            out.append(instr)
+            return
+        if isinstance(instr, I.PktLength):
+            raw = fn.new_temp(T.U32)
+            length_instr = I.PktLength(raw, instr.ph)
+            length_instr.copy_annotations_from(instr)
+            out.append(length_instr)
+            out.append(I.BinOp("sub", instr.dst, raw, Const(d)))
+            return
+        if _is_escape(instr):
+            if not isinstance(instr, I.PktDrop):
+                handle = _escape_handle(instr)
+                out.append(I.PktSyncHead(handle, d))
+                result.syncs_inserted += 1
+            pending[cls] = 0
+            out.append(instr)
+            return
+    elif cls is not None and _is_escape(instr):
+        pending[cls] = 0
+
+    out.append(instr)
+
+
+def _escape_handle(instr: I.Instr) -> Temp:
+    if isinstance(instr, I.Call):
+        for a in instr.args:
+            if isinstance(a, Temp) and a.type.is_packet:
+                return a
+        raise AssertionError("escape call without packet argument")
+    if isinstance(instr, (I.PktCopy, I.PktEncap, I.PktDecap)):
+        return instr.src
+    return instr.ph
+
+
+def _handle_for_class(fn: IRFunction, aliases: AliasClasses, cls: Temp) -> Optional[Temp]:
+    for t in aliases.parent:
+        if aliases.class_of(t) is cls:
+            return t
+    return None

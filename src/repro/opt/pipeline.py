@@ -1,0 +1,39 @@
+"""Optimization pass pipeline (the paper's "IPA and global optimizer"
+scalar portion plus the WOPT stage of the code generator)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.cfg import simplify_cfg
+from repro.ir.module import IRFunction, IRModule
+from repro.opt import constprop, copyprop, cse, dce, inline
+from repro.options import CompilerOptions
+
+_MAX_ITER = 12
+
+
+def scalar_optimize_function(fn: IRFunction) -> None:
+    """Run the -O1 scalar pass set on one function to fixpoint."""
+    for _ in range(_MAX_ITER):
+        changed = False
+        changed |= simplify_cfg(fn)
+        changed |= constprop.run(fn)
+        changed |= copyprop.run(fn)
+        changed |= cse.run(fn)
+        changed |= dce.run(fn)
+        if not changed:
+            break
+
+
+def run_scalar_pipeline(mod: IRModule, opts: CompilerOptions) -> None:
+    """Apply -O1/-O2 (scalar + inlining) according to ``opts``."""
+    if opts.inline:
+        inline.run(mod)
+    if opts.scalar:
+        for fn in mod.functions.values():
+            scalar_optimize_function(fn)
+    elif opts.inline:
+        # Inlining without scalar cleanup still needs CFG normalization.
+        for fn in mod.functions.values():
+            simplify_cfg(fn)

@@ -1,0 +1,427 @@
+"""SWC: delayed-update software-controlled caching (paper section 5.2).
+
+The IXP MEs have no hardware caches, but each ME has a 16-entry CAM and
+640 words of Local Memory. SWC turns hot, rarely-written global loads
+into CAM-tagged Local Memory hits:
+
+* **Candidate selection** uses functional-profiler statistics: a global
+  qualifies when it is read frequently on the packet path, written
+  rarely (control/init path only), small-grained enough to cache
+  (power-of-two line size <= the line budget), never accessed inside a
+  critical section, and its observed load stream would hit well in 16
+  lines.
+* **Delayed-update coherency**: writers set a per-global ``updated``
+  flag; the packet path checks the flag only every *i*-th packet
+  (Equation 2 gives the minimum check rate from the tolerable packet
+  error rate) and clears the whole CAM when it fires. Between checks,
+  cached entries may be stale -- acceptable in error-tolerant packet
+  applications, the paper's central observation.
+
+The load-path rewrite (paper Figure 8)::
+
+    count++                       (Local Memory)
+    if count > check_limit:
+        count = 0
+        if updated_flag:          (one Scratch read per period)
+            cam_clear; updated_flag = 0
+    r = cam_lookup(key)
+    if hit:  value = LM[line(r) + word]
+    else:    value = SRAM load; cam_write; LM fill
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.baker import types as T
+from repro.baker.symbols import GlobalSymbol, SymbolKind
+from repro.ir import instructions as I
+from repro.ir.module import BasicBlock, IRFunction, IRModule
+from repro.ir.values import Const, Operand, Temp
+from repro.profiler.stats import ProfileData
+
+# Local Memory layout of the SWC region (word indices are relative to the
+# region; the code generator places the region after the stack area).
+COUNTER_INDEX = 0
+CACHE_BASE = 1
+CAM_ENTRIES = 16
+MAX_LINE_WORDS = 8  # 16 lines x 8 words = 128 words + counter
+# The CAM is shared by every cached global, so line slots use a uniform
+# stride: entry E always owns LM words [CACHE_BASE + 8E, CACHE_BASE + 8E+8).
+LINE_STRIDE_WORDS = MAX_LINE_WORDS
+
+# Selection thresholds.
+MIN_LOADS_PER_PACKET = 0.4
+MAX_STORE_LOAD_RATIO = 0.01
+MIN_HIT_RATE = 0.70
+# Fraction of a structure's loads its hot lines must cover when sizing
+# its claim on the shared 16-entry CAM.
+WORKING_SET_FRACTION = 0.8
+
+
+@dataclass
+class CacheSpec:
+    """One cached global: key space and line geometry."""
+
+    name: str
+    gid: int  # key tag
+    line_bytes: int  # power of two
+    line_words: int
+    flag_global: str  # name of the updated-flag global
+
+
+@dataclass
+class SwcResult:
+    cached: List[CacheSpec] = field(default_factory=list)
+    rejected: Dict[str, str] = field(default_factory=dict)  # name -> reason
+    rewritten_loads: int = 0
+    instrumented_stores: int = 0
+
+    def cached_names(self) -> List[str]:
+        return [c.name for c in self.cached]
+
+
+def min_check_rate(r_error: float, r_store: float, r_load: float) -> float:
+    """Equation 2: minimum per-packet update-check rate."""
+    if r_error <= 0:
+        raise ValueError("tolerable error rate must be positive")
+    return r_store * r_load / r_error
+
+
+def _line_geometry(sym: GlobalSymbol) -> Optional[Tuple[int, int]]:
+    """(line_bytes, line_words) for a global, or None if uncacheable.
+    The line is one array element (the whole value for scalars). The
+    element stride must be a power of two so the line index is a shift
+    of the byte offset (the ME has no divide instruction)."""
+    gtype = sym.type
+    elem = gtype.element if isinstance(gtype, T.ArrayType) else gtype
+    size = elem.size_bytes()
+    if size & (size - 1) != 0:
+        return None
+    if size > MAX_LINE_WORDS * 4:
+        return None
+    return size, size // 4
+
+
+def select_candidates(mod: IRModule, profile: ProfileData,
+                      fast_functions: Set[str]) -> SwcResult:
+    """Choose globals to cache. ``fast_functions`` are the ME-mapped
+    aggregate functions (loads elsewhere are control path)."""
+    result = SwcResult()
+    packets = max(profile.packets_in, 1)
+
+    in_critical = _globals_in_critical_sections(mod)
+    fast_loaded = _globals_loaded_in(mod, fast_functions)
+    fast_stored = _globals_stored_in(mod, fast_functions)
+
+    screened = []  # (loads_per_packet, name, sym, line_bytes, line_words, stats)
+    for name, sym in sorted(mod.globals.items()):
+        if name.endswith(".__swc_flag"):
+            continue
+        stats = profile.global_stats.get(name)
+        if stats is None or name not in fast_loaded:
+            result.rejected[name] = "not read on the packet path"
+            continue
+        if name in in_critical:
+            result.rejected[name] = "accessed inside a critical section"
+            continue
+        if name in fast_stored:
+            result.rejected[name] = "written on the packet path"
+            continue
+        loads_per_packet = stats.loads / packets
+        if loads_per_packet < MIN_LOADS_PER_PACKET:
+            result.rejected[name] = "too few loads/packet (%.2f)" % loads_per_packet
+            continue
+        if stats.loads and stats.stores / stats.loads > MAX_STORE_LOAD_RATIO:
+            result.rejected[name] = "written too often (%d stores / %d loads)" % (
+                stats.stores, stats.loads)
+            continue
+        geometry = _line_geometry(sym)
+        if geometry is None:
+            result.rejected[name] = "element too large for a cache line"
+            continue
+        line_bytes, line_words = geometry
+        hit = stats.estimated_hit_rate(CAM_ENTRIES, line_words)
+        if hit < MIN_HIT_RATE:
+            result.rejected[name] = "estimated hit rate too low (%.2f)" % hit
+            continue
+        screened.append((loads_per_packet, name, sym, line_bytes, line_words, stats))
+
+    # The 16 CAM entries are shared by every cached structure: admit the
+    # hottest candidates while their working sets fit, so a structure
+    # whose hot lines alone overflow the CAM (e.g. a scanned firewall
+    # rule list) is never cached.
+    screened.sort(key=lambda row: (-row[0], row[1]))
+    capacity = CAM_ENTRIES
+    gid = 1
+    for loads_per_packet, name, sym, line_bytes, line_words, stats in screened:
+        ws = stats.working_set_lines(WORKING_SET_FRACTION, line_words)
+        if ws > CAM_ENTRIES // 2:
+            # Suitable candidates are *small* structures; one that needs
+            # most of the CAM to itself would thrash everything else.
+            result.rejected[name] = "working set too large (%d lines)" % ws
+            continue
+        if ws > capacity:
+            result.rejected[name] = (
+                "working set (%d lines) exceeds remaining CAM capacity (%d)"
+                % (ws, capacity)
+            )
+            continue
+        capacity -= ws
+        result.cached.append(
+            CacheSpec(name, gid, line_bytes, line_words, name + ".__swc_flag")
+        )
+        gid += 1
+    return result
+
+
+def _globals_in_critical_sections(mod: IRModule) -> Set[str]:
+    names: Set[str] = set()
+    for fn in mod.functions.values():
+        for bb in fn.blocks:
+            depth = 0
+            for instr in bb.all_instrs():
+                if isinstance(instr, I.LockAcquire):
+                    depth += 1
+                elif isinstance(instr, I.LockRelease):
+                    depth = max(0, depth - 1)
+                elif depth > 0 and isinstance(instr, (I.LoadG, I.StoreG)):
+                    names.add(instr.g)
+    return names
+
+
+def _globals_loaded_in(mod: IRModule, functions: Set[str]) -> Set[str]:
+    names: Set[str] = set()
+    for fname in functions:
+        fn = mod.functions.get(fname)
+        if fn is None:
+            continue
+        for instr in fn.all_instrs():
+            if isinstance(instr, I.LoadG):
+                names.add(instr.g)
+    return names
+
+
+def _globals_stored_in(mod: IRModule, functions: Set[str]) -> Set[str]:
+    names: Set[str] = set()
+    for fname in functions:
+        fn = mod.functions.get(fname)
+        if fn is None:
+            continue
+        for instr in fn.all_instrs():
+            if isinstance(instr, I.StoreG):
+                names.add(instr.g)
+    return names
+
+
+# -- transformation -------------------------------------------------------------------
+
+
+def apply(mod: IRModule, result: SwcResult, fast_functions: Set[str],
+          check_period: int = 16) -> None:
+    """Rewrite fast-path loads of every selected global and instrument
+    all stores with the updated-flag write."""
+    if not result.cached:
+        return
+    specs = {c.name: c for c in result.cached}
+
+    # Materialize the flag globals (Scratch: cheap periodic check).
+    for spec in result.cached:
+        if spec.flag_global not in mod.globals:
+            mod.globals[spec.flag_global] = GlobalSymbol(
+                SymbolKind.GLOBAL,
+                spec.flag_global,
+                type=T.U32,
+                qualified=spec.flag_global,
+                init_values=[0],
+                memory="scratch",
+            )
+
+    for fname in sorted(fast_functions):
+        fn = mod.functions.get(fname)
+        if fn is None:
+            continue
+        if any(
+            isinstance(i, I.LoadG) and i.g in specs for i in fn.all_instrs()
+        ):
+            _insert_periodic_check(fn, result.cached, check_period)
+            _rewrite_loads(fn, specs, result)
+
+    # Every store anywhere (control plane, init, other aggregates) must
+    # raise the flag.
+    for fn in mod.functions.values():
+        for bb in fn.blocks:
+            new_instrs: List[I.Instr] = []
+            for instr in bb.instrs:
+                new_instrs.append(instr)
+                if isinstance(instr, I.StoreG) and instr.g in specs:
+                    spec = specs[instr.g]
+                    new_instrs.append(
+                        I.StoreG(spec.flag_global, Const(0), Const(1), 4)
+                    )
+                    result.instrumented_stores += 1
+            bb.instrs = new_instrs
+
+
+def _insert_periodic_check(fn: IRFunction, cached: List[CacheSpec],
+                           check_period: int) -> None:
+    """Prepend the every-i-th-packet coherency check to the function."""
+    old_entry_instrs = fn.entry.instrs
+    old_terminator = fn.entry.terminator
+
+    body = fn.new_block("swc_body")
+    body.instrs = old_entry_instrs
+    body.terminator = old_terminator
+
+    check = fn.new_block("swc_check")
+    entry = fn.entry
+    entry.instrs = []
+    entry.terminator = None
+
+    count = fn.new_temp(T.U32, "swc_count")
+    entry.append(I.LmLoad(count, Const(COUNTER_INDEX)))
+    bumped = fn.new_temp(T.U32)
+    entry.append(I.BinOp("add", bumped, count, Const(1)))
+    entry.append(I.LmStore(Const(COUNTER_INDEX), bumped))
+    over = fn.new_temp(T.BOOL)
+    entry.append(I.Cmp("gt_u", over, bumped, Const(check_period)))
+    entry.terminate(I.Branch(over, check, body))
+
+    check.append(I.LmStore(Const(COUNTER_INDEX), Const(0)))
+    acc: Optional[Temp] = None
+    for spec in cached:
+        flag = fn.new_temp(T.U32, "swc_flag")
+        check.append(I.LoadG(flag, spec.flag_global, Const(0), 4))
+        if acc is None:
+            acc = flag
+        else:
+            merged = fn.new_temp(T.U32)
+            check.append(I.BinOp("or", merged, acc, flag))
+            acc = merged
+    any_set = fn.new_temp(T.BOOL)
+    check.append(I.Cmp("ne", any_set, acc, Const(0)))
+    flush = fn.new_block("swc_flush")
+    check.terminate(I.Branch(any_set, flush, body))
+    flush.append(I.CamClear())
+    for spec in cached:
+        flush.append(I.StoreG(spec.flag_global, Const(0), Const(0), 4))
+    flush.terminate(I.Jump(body))
+
+
+def _rewrite_loads(fn: IRFunction, specs: Dict[str, CacheSpec],
+                   result: SwcResult) -> None:
+    while True:
+        target = None
+        for bb in fn.blocks:
+            for idx, instr in enumerate(bb.instrs):
+                if (isinstance(instr, I.LoadG) and instr.g in specs
+                        and not getattr(instr, "_swc_done", False)):
+                    target = (bb, idx, instr)
+                    break
+            if target:
+                break
+        if target is None:
+            return
+        bb, idx, instr = target
+        _rewrite_one_load(fn, bb, idx, instr, specs[instr.g], result)
+
+
+def _rewrite_one_load(fn: IRFunction, bb: BasicBlock, idx: int,
+                      load: I.LoadG, spec: CacheSpec, result: SwcResult) -> None:
+    """Split the block around the load and emit hit/miss paths. The miss
+    path fills the *entire* line, installs the CAM tag, then joins the
+    hit path, which reads the requested word(s) from Local Memory."""
+    load._swc_done = True  # type: ignore[attr-defined]
+    tail = fn.new_block("swc_tail")
+    tail.instrs = bb.instrs[idx + 1 :]
+    tail.terminator = bb.terminator
+    bb.instrs = bb.instrs[:idx]
+    bb.terminator = None
+
+    line_shift = spec.line_bytes.bit_length() - 1
+
+    # key = (gid << 24) | (offset >> line_shift)
+    line_idx = fn.new_temp(T.U32, "swc_line")
+    bb.append(I.BinOp("lshr", line_idx, load.offset, Const(line_shift)))
+    key = fn.new_temp(T.U32, "swc_key")
+    bb.append(I.BinOp("or", key, line_idx, Const(spec.gid << 24)))
+
+    lookup = fn.new_temp(T.U32, "swc_cam")
+    bb.append(I.CamLookup(lookup, key))
+    entry = fn.new_temp(T.U32, "swc_entry")
+    bb.append(I.BinOp("lshr", entry, lookup, Const(1)))
+    hit_word = fn.new_temp(T.U32)
+    bb.append(I.BinOp("and", hit_word, lookup, Const(1)))
+    hit = fn.new_temp(T.BOOL, "swc_hit")
+    bb.append(I.Cmp("ne", hit, hit_word, Const(0)))
+
+    # line base slot in Local Memory = CACHE_BASE + entry * LINE_STRIDE
+    scaled = fn.new_temp(T.U32)
+    bb.append(I.BinOp("shl", scaled, entry,
+                      Const(LINE_STRIDE_WORDS.bit_length() - 1)))
+    line_base = fn.new_temp(T.U32, "swc_base")
+    bb.append(I.BinOp("add", line_base, scaled, Const(CACHE_BASE)))
+
+    hit_bb = fn.new_block("swc_hit")
+    miss_bb = fn.new_block("swc_miss")
+    bb.terminate(I.Branch(hit, hit_bb, miss_bb))
+
+    # Miss path: fill the whole line from SRAM, install tag, join hit path.
+    line_off = fn.new_temp(T.U32, "swc_loff")
+    miss_bb.append(I.BinOp("and", line_off, load.offset,
+                           Const((~(spec.line_bytes - 1)) & 0xFFFFFFFF)))
+    word = 0
+    while word < spec.line_words:
+        chunk_off = fn.new_temp(T.U32)
+        miss_bb.append(I.BinOp("add", chunk_off, line_off, Const(word * 4)))
+        slot = fn.new_temp(T.U32)
+        miss_bb.append(I.BinOp("add", slot, line_base, Const(word)))
+        if spec.line_words - word >= 2:
+            v64 = fn.new_temp(T.U64)
+            fill = I.LoadG(v64, load.g, chunk_off, 8)
+            fill._swc_done = True  # type: ignore[attr-defined]
+            miss_bb.append(fill)
+            hi64 = fn.new_temp(T.U64)
+            miss_bb.append(I.BinOp("lshr", hi64, v64, Const(32)))
+            hi = fn.new_temp(T.U32)
+            miss_bb.append(I.BinOp("and", hi, hi64, Const(0xFFFFFFFF, T.U64)))
+            lo = fn.new_temp(T.U32)
+            miss_bb.append(I.BinOp("and", lo, v64, Const(0xFFFFFFFF, T.U64)))
+            miss_bb.append(I.LmStore(slot, hi))
+            slot2 = fn.new_temp(T.U32)
+            miss_bb.append(I.BinOp("add", slot2, line_base, Const(word + 1)))
+            miss_bb.append(I.LmStore(slot2, lo))
+            word += 2
+        else:
+            v32 = fn.new_temp(T.U32)
+            fill = I.LoadG(v32, load.g, chunk_off, 4)
+            fill._swc_done = True  # type: ignore[attr-defined]
+            miss_bb.append(fill)
+            miss_bb.append(I.LmStore(slot, v32))
+            word += 1
+    miss_bb.append(I.CamWrite(entry, key))
+    miss_bb.terminate(I.Jump(hit_bb))
+
+    # Hit path (also the miss join): read the requested word(s) from LM.
+    within = fn.new_temp(T.U32)
+    hit_bb.append(I.BinOp("and", within, load.offset, Const(spec.line_bytes - 1)))
+    within_words = fn.new_temp(T.U32)
+    hit_bb.append(I.BinOp("lshr", within_words, within, Const(2)))
+    slot_h = fn.new_temp(T.U32)
+    hit_bb.append(I.BinOp("add", slot_h, line_base, within_words))
+    if load.width == 8:
+        hi = fn.new_temp(T.U32)
+        lo = fn.new_temp(T.U32)
+        hit_bb.append(I.LmLoad(hi, slot_h))
+        slot_h2 = fn.new_temp(T.U32)
+        hit_bb.append(I.BinOp("add", slot_h2, slot_h, Const(1)))
+        hit_bb.append(I.LmLoad(lo, slot_h2))
+        wide = fn.new_temp(T.U64)
+        hit_bb.append(I.BinOp("shl", wide, hi, Const(32)))
+        hit_bb.append(I.BinOp("or", load.dst, wide, lo))
+    else:
+        hit_bb.append(I.LmLoad(load.dst, slot_h))
+    hit_bb.terminate(I.Jump(tail))
+
+    result.rewritten_loads += 1

@@ -1,0 +1,105 @@
+"""Profile data collected by the functional profiler (paper section 4.1).
+
+The aggregation pass consumes PPF execution costs and CC utilizations;
+the global memory mapper and the SWC candidate selector consume
+global-data access statistics.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+
+@dataclass
+class GlobalStats:
+    """Access statistics for one global variable."""
+
+    loads: int = 0
+    stores: int = 0
+    load_offsets: Counter = field(default_factory=Counter)  # byte offset -> count
+
+    @property
+    def distinct_load_offsets(self) -> int:
+        return len(self.load_offsets)
+
+    def estimated_hit_rate(self, cache_lines: int, line_words: int = 1) -> float:
+        """Hit rate a ``cache_lines``-entry cache would achieve on the
+        observed load stream, assuming an ideal (Belady-ish) mapping:
+        the hottest ``cache_lines`` lines always hit."""
+        if self.loads == 0:
+            return 0.0
+        lines = Counter()
+        for off, count in self.load_offsets.items():
+            lines[off // (4 * line_words)] += count
+        hot = sum(count for _, count in lines.most_common(cache_lines))
+        return hot / self.loads
+
+    def working_set_lines(self, fraction: float = 0.8, line_words: int = 1) -> int:
+        """Smallest number of cache lines covering ``fraction`` of the
+        observed loads (the structure's hot working set)."""
+        if self.loads == 0:
+            return 0
+        lines = Counter()
+        for off, count in self.load_offsets.items():
+            lines[off // (4 * line_words)] += count
+        needed = fraction * self.loads
+        covered = 0
+        for i, (_, count) in enumerate(lines.most_common()):
+            covered += count
+            if covered >= needed:
+                return i + 1
+        return len(lines)
+
+
+@dataclass
+class ProfileData:
+    """Whole-program profile over one trace."""
+
+    packets_in: int = 0
+    packets_out: int = 0
+    packets_dropped: int = 0
+    # Per-PPF (qualified name):
+    ppf_invocations: Counter = field(default_factory=Counter)
+    ppf_instrs: Counter = field(default_factory=Counter)  # executed IR instrs
+    # Per-channel (qualified name): number of puts.
+    channel_puts: Counter = field(default_factory=Counter)
+    # Per-global (qualified name):
+    global_stats: Dict[str, GlobalStats] = field(default_factory=dict)
+    # Per-function total invocation counts (incl. support funcs).
+    func_invocations: Counter = field(default_factory=Counter)
+
+    def gstat(self, name: str) -> GlobalStats:
+        if name not in self.global_stats:
+            self.global_stats[name] = GlobalStats()
+        return self.global_stats[name]
+
+    # -- derived quantities used by aggregation --------------------------------
+
+    def ppf_cost_per_packet(self, ppf: str) -> float:
+        """Average executed IR instructions per invocation (the paper's
+        'relative PPF execution time')."""
+        n = self.ppf_invocations.get(ppf, 0)
+        if n == 0:
+            return 0.0
+        return self.ppf_instrs.get(ppf, 0) / n
+
+    def ppf_weight(self, ppf: str) -> float:
+        """Total executed instructions attributed to the PPF, normalized
+        per input packet -- the execution-frequency-weighted cost."""
+        if self.packets_in == 0:
+            return 0.0
+        return self.ppf_instrs.get(ppf, 0) / self.packets_in
+
+    def channel_utilization(self, channel: str) -> float:
+        """Puts per input packet (the paper's CC utilization)."""
+        if self.packets_in == 0:
+            return 0.0
+        return self.channel_puts.get(channel, 0) / self.packets_in
+
+    def invocation_rate(self, ppf: str) -> float:
+        """PPF invocations per input packet."""
+        if self.packets_in == 0:
+            return 0.0
+        return self.ppf_invocations.get(ppf, 0) / self.packets_in

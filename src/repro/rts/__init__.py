@@ -1,0 +1,2 @@
+"""Runtime system: dispatch loops, channel/ring mapping, loader, and the
+whole-system builder that runs compiled code on the simulated IXP2400."""

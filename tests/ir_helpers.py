@@ -1,0 +1,53 @@
+"""Helpers for building IR in tests and compiling samples to IR."""
+
+from repro.baker import parse_and_check
+from repro.baker import types as T
+from repro.baker.lowering import lower_program
+from repro.ir import instructions as I
+from repro.ir.module import IRFunction
+from repro.ir.values import Const
+
+
+def lower(src: str):
+    """Parse, check and lower Baker source to an IRModule."""
+    return lower_program(parse_and_check(src))
+
+
+def build_diamond():
+    """entry -> (left|right) -> join, returning (fn, blocks dict)."""
+    fn = IRFunction("diamond", "func", T.U32)
+    cond = fn.new_temp(T.BOOL, "c")
+    fn.params.append(cond)
+    entry = fn.new_block("entry")
+    left = fn.new_block("left")
+    right = fn.new_block("right")
+    join = fn.new_block("join")
+    result = fn.new_temp(T.U32, "r")
+    entry.terminate(I.Branch(cond, left, right))
+    left.append(I.Assign(result, Const(1)))
+    left.terminate(I.Jump(join))
+    right.append(I.Assign(result, Const(2)))
+    right.terminate(I.Jump(join))
+    join.terminate(I.Ret(result))
+    return fn, {"entry": entry, "left": left, "right": right, "join": join}
+
+
+def build_loop():
+    """entry -> head -> (body -> head | exit)."""
+    fn = IRFunction("loop", "func", T.U32)
+    n = fn.new_temp(T.U32, "n")
+    fn.params.append(n)
+    entry = fn.new_block("entry")
+    head = fn.new_block("head")
+    body = fn.new_block("body")
+    exit_bb = fn.new_block("exit")
+    i = fn.new_temp(T.U32, "i")
+    cond = fn.new_temp(T.BOOL)
+    entry.append(I.Assign(i, Const(0)))
+    entry.terminate(I.Jump(head))
+    head.append(I.Cmp("lt_u", cond, i, n))
+    head.terminate(I.Branch(cond, body, exit_bb))
+    body.append(I.BinOp("add", i, i, Const(1)))
+    body.terminate(I.Jump(head))
+    exit_bb.terminate(I.Ret(i))
+    return fn, {"entry": entry, "head": head, "body": body, "exit": exit_bb}

@@ -1,0 +1,102 @@
+"""Shared Baker source samples used across the test suite."""
+
+ETHER_IPV4_PROTOCOLS = r"""
+protocol ether {
+  dst : 48;
+  src : 48;
+  type : 16;
+  demux { 14 };
+}
+
+protocol ipv4 {
+  ver : 4;
+  ihl : 4;
+  tos : 8;
+  length : 16;
+  ident : 16;
+  flags_frag : 16;
+  ttl : 8;
+  proto : 8;
+  checksum : 16;
+  src : 32;
+  dst : 32;
+  demux { ihl << 2 };
+}
+"""
+
+MINI_FORWARDER = (
+    ETHER_IPV4_PROTOCOLS
+    + r"""
+metadata {
+  u32 nexthop_id;
+}
+
+const u32 ETH_TYPE_IP = 0x0800;
+const u32 ETH_TYPE_ARP = 0x0806;
+
+u64 mac_addrs[4] = { 0x0a0000000001, 0x0a0000000002, 0x0a0000000003, 0x0a0000000004 };
+shared u32 arp_seen = 0;
+
+u32 mix(u32 x) {
+  return (x ^ (x >> 16)) * 0x45d9f3b;
+}
+
+module l3_switch {
+  channel l3_forward_cc;
+  channel l2_bridge_cc;
+  channel arp_cc;
+
+  ppf l2_clsfr(ether_pkt *ph) from rx {
+    bool is_arp = ph->type == ETH_TYPE_ARP;
+    bool forward = ph->dst == mac_addrs[ph->meta.rx_port];
+    if (is_arp) {
+      channel_put(arp_cc, packet_copy(ph));
+    }
+    if (forward) {
+      ipv4_pkt *iph = packet_decap(ph);
+      channel_put(l3_forward_cc, iph);
+    } else {
+      channel_put(l2_bridge_cc, ph);
+    }
+  }
+
+  ppf l3_fwdr(ipv4_pkt *iph) from l3_forward_cc {
+    u32 h = mix(iph->dst);
+    iph->meta.nexthop_id = h & 0xff;
+    iph->ttl = iph->ttl - 1;
+    ether_pkt *eph = packet_encap(iph, ether);
+    eph->src = mac_addrs[0];
+    eph->dst = mac_addrs[1];
+    eph->type = ETH_TYPE_IP;
+    channel_put(tx, eph);
+  }
+
+  ppf l2_bridge(ether_pkt *ph) from l2_bridge_cc {
+    channel_put(tx, ph);
+  }
+
+  ppf arp_handler(ether_pkt *ph) from arp_cc {
+    critical (arp_lock) {
+      arp_seen = arp_seen + 1;
+    }
+    packet_drop(ph);
+  }
+
+  init {
+    arp_seen = 0;
+  }
+}
+"""
+)
+
+# The smallest legal program: one PPF that forwards everything.
+PASSTHROUGH = (
+    ETHER_IPV4_PROTOCOLS
+    + r"""
+module fwd {
+  ppf go(ether_pkt *ph) from rx {
+    channel_put(tx, ph);
+  }
+}
+"""
+)

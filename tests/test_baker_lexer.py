@@ -1,0 +1,159 @@
+"""Unit tests for the Baker lexer."""
+
+import pytest
+
+from repro.baker.errors import LexError
+from repro.baker.lexer import tokenize
+from repro.baker.tokens import TokenKind
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def test_empty_input_yields_eof():
+    toks = tokenize("")
+    assert len(toks) == 1
+    assert toks[0].kind is TokenKind.EOF
+
+
+def test_identifiers_and_keywords():
+    toks = tokenize("protocol foo ppf bar_baz _x")
+    assert [t.kind for t in toks[:-1]] == [
+        TokenKind.KW_PROTOCOL,
+        TokenKind.IDENT,
+        TokenKind.KW_PPF,
+        TokenKind.IDENT,
+        TokenKind.IDENT,
+    ]
+    assert toks[1].text == "foo"
+    assert toks[3].text == "bar_baz"
+
+
+def test_decimal_literal():
+    tok = tokenize("12345")[0]
+    assert tok.kind is TokenKind.INT
+    assert tok.value == 12345
+
+
+def test_hex_literal():
+    tok = tokenize("0xDEADbeef")[0]
+    assert tok.value == 0xDEADBEEF
+
+
+def test_binary_literal():
+    tok = tokenize("0b1010")[0]
+    assert tok.value == 10
+
+
+def test_octal_literal():
+    tok = tokenize("0777")[0]
+    assert tok.value == 0o777
+
+
+def test_zero_literal():
+    tok = tokenize("0")[0]
+    assert tok.value == 0
+
+
+def test_underscore_separator_in_literal():
+    tok = tokenize("1_000_000")[0]
+    assert tok.value == 1000000
+
+
+def test_invalid_suffix_rejected():
+    with pytest.raises(LexError):
+        tokenize("123abc")
+
+
+def test_line_comment_skipped():
+    toks = tokenize("a // comment here\nb")
+    assert [t.text for t in toks[:-1]] == ["a", "b"]
+
+
+def test_block_comment_skipped():
+    toks = tokenize("a /* multi\nline */ b")
+    assert [t.text for t in toks[:-1]] == ["a", "b"]
+
+
+def test_unterminated_block_comment():
+    with pytest.raises(LexError):
+        tokenize("a /* never closed")
+
+
+def test_multichar_operators_greedy():
+    assert kinds("<<= >>= << >> <= >= == != && || ->")[:-1] == [
+        TokenKind.SHL_ASSIGN,
+        TokenKind.SHR_ASSIGN,
+        TokenKind.SHL,
+        TokenKind.SHR,
+        TokenKind.LE,
+        TokenKind.GE,
+        TokenKind.EQ,
+        TokenKind.NE,
+        TokenKind.ANDAND,
+        TokenKind.OROR,
+        TokenKind.ARROW,
+    ]
+
+
+def test_arrow_vs_minus():
+    assert kinds("a->b - c")[:-1] == [
+        TokenKind.IDENT,
+        TokenKind.ARROW,
+        TokenKind.IDENT,
+        TokenKind.MINUS,
+        TokenKind.IDENT,
+    ]
+
+
+def test_increment_and_compound_assign():
+    assert kinds("i++ x += 1")[:-1] == [
+        TokenKind.IDENT,
+        TokenKind.PLUSPLUS,
+        TokenKind.IDENT,
+        TokenKind.PLUS_ASSIGN,
+        TokenKind.INT,
+    ]
+
+
+def test_string_literal():
+    tok = tokenize('"hello\\nworld"')[0]
+    assert tok.kind is TokenKind.STRING
+    assert tok.value == "hello\nworld"
+
+
+def test_unterminated_string():
+    with pytest.raises(LexError):
+        tokenize('"oops')
+
+
+def test_char_literal():
+    tok = tokenize("'A'")[0]
+    assert tok.kind is TokenKind.CHAR
+    assert tok.value == 65
+
+
+def test_char_escape():
+    tok = tokenize("'\\n'")[0]
+    assert tok.value == 10
+
+
+def test_unexpected_character():
+    with pytest.raises(LexError) as exc:
+        tokenize("a $ b")
+    assert "unexpected character" in str(exc.value)
+
+
+def test_locations_track_lines():
+    toks = tokenize("a\n  b\n    c")
+    assert toks[0].loc.line == 1 and toks[0].loc.column == 1
+    assert toks[1].loc.line == 2 and toks[1].loc.column == 3
+    assert toks[2].loc.line == 3 and toks[2].loc.column == 5
+
+
+def test_all_single_char_operators():
+    text = "( ) { } [ ] ; , : ? . = + - * / % & | ^ ~ ! < >"
+    toks = tokenize(text)
+    assert toks[-1].kind is TokenKind.EOF
+    assert len(toks) == len(text.split()) + 1

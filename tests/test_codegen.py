@@ -1,0 +1,282 @@
+"""Tests for the code generator: lowering, register allocation, stack
+layout, assembly."""
+
+import pytest
+
+from repro.cg import abi, isa
+from repro.cg.assemble import build_image
+from repro.cg.lower import CodegenError, LowerContext, lower_function
+from repro.cg.melayout import CODE_STORE_WORDS, STACK_WORDS_PER_THREAD
+from repro.cg.regalloc import allocate_function, normalize
+from repro.cg.stack import layout_frames, resolve_stack_accesses
+from repro.compiler import compile_baker
+from repro.options import options_for
+from repro.profiler.trace import ipv4_trace
+from tests.ir_helpers import lower
+from tests.samples import MINI_FORWARDER, PASSTHROUGH
+
+MACS = [0x0A0000000001, 0x0A0000000002, 0x0A0000000003]
+
+
+def compile_full(level="SWC", src=MINI_FORWARDER, **kw):
+    trace = ipv4_trace(30, [0xC0A80101], MACS, arp_fraction=0.1, seed=3)
+    return compile_baker(src, options_for(level, **kw), trace)
+
+
+def lower_one(src, name, level="O2"):
+    mod = lower(src)
+    ctx = LowerContext(mod, options_for(level))
+    return ctx, lower_function(ctx, mod.functions[name])
+
+
+# -- lowering ---------------------------------------------------------------------
+
+
+def test_lowering_produces_entry_label():
+    _, fn = lower_one("u32 f(u32 a) { return a + 1; }" + PASSTHROUGH, "f")
+    assert fn.blocks[0].label == fn.entry_label
+    assert any(isinstance(i, isa.Rtn) for i in fn.all_insns())
+
+
+def test_lowering_u64_pairs():
+    _, fn = lower_one("u64 f(u64 a, u64 b) { return a ^ b; }" + PASSTHROUGH, "f")
+    xors = [i for i in fn.all_insns() if isinstance(i, isa.Alu) and i.op == "xor"]
+    assert len(xors) == 2  # hi and lo halves
+
+
+def test_lowering_u64_add_emits_carry():
+    _, fn = lower_one("u64 f(u64 a, u64 b) { return a + b; }" + PASSTHROUGH, "f")
+    adds = [i for i in fn.all_insns() if isinstance(i, isa.Alu) and i.op == "add"]
+    assert len(adds) >= 3  # lo, hi, carry
+
+
+def test_division_rejected_by_codegen():
+    with pytest.raises(CodegenError) as exc:
+        lower_one("u32 f(u32 a, u32 b) { return a / b; }" + PASSTHROUGH, "f")
+    assert "divide" in str(exc.value)
+
+
+def test_cmp_branch_fusion():
+    src = "u32 f(u32 a) { if (a < 10) { return 1; } return 2; }" + PASSTHROUGH
+    mod = lower(src)
+    from repro.opt.pipeline import scalar_optimize_function
+
+    scalar_optimize_function(mod.functions["f"])
+    ctx = LowerContext(mod, options_for("O2"))
+    fn = lower_function(ctx, mod.functions["f"])
+    # Fused compare+branch: a Cmp followed by a conditional Br, and no
+    # 0/1 materialization of the condition.
+    insns = list(fn.all_insns())
+    cmps = [i for i, x in enumerate(insns) if isinstance(x, isa.Cmp)]
+    assert cmps
+    assert isinstance(insns[cmps[0] + 1], isa.Br)
+    assert insns[cmps[0] + 1].cond == "lt_u"
+
+
+def test_immed_sizes():
+    assert isa.Immed(isa.VReg(), 0x12).size == 1
+    assert isa.Immed(isa.VReg(), 0x12345).size == 2
+
+
+# -- register allocation -----------------------------------------------------------
+
+
+def _alloc(src, name, level="O2"):
+    ctx, fn = lower_one(src, name, level)
+    allocate_function(fn)
+    return fn
+
+
+def test_regalloc_no_virtual_registers_left():
+    fn = _alloc("u32 f(u32 a, u32 b) { return (a + b) * (a ^ b); }" + PASSTHROUGH, "f")
+    for insn in fn.all_insns():
+        for r in list(insn.reads()) + list(insn.writes()):
+            assert not isinstance(r, isa.VReg), insn
+
+
+def test_regalloc_bank_constraint_satisfied():
+    src = (
+        "u32 f(u32 a, u32 b, u32 c) { return (a + b) ^ (b + c) ^ (a + c); }"
+        + PASSTHROUGH
+    )
+    fn = _alloc(src, "f")
+    for insn in fn.all_insns():
+        if isinstance(insn, (isa.Alu, isa.Cmp)):
+            a, b = insn.a, insn.b
+            if isinstance(a, isa.PReg) and isinstance(b, isa.PReg) and a != b:
+                assert a.bank != b.bank, insn
+
+
+def test_regalloc_reserved_not_allocated():
+    src = "u32 f(u32 a) { return a * 3 + 7; }" + PASSTHROUGH
+    fn = _alloc(src, "f")
+    for insn in fn.all_insns():
+        for r in insn.writes():
+            if isinstance(r, isa.PReg) and not isinstance(insn, isa.Mov):
+                # fixup/link registers only appear via explicit conventions
+                pass  # the set below is the real assertion
+    used = {
+        r for insn in fn.all_insns() for r in insn.writes() if isinstance(r, isa.PReg)
+    }
+    assert abi.LINK not in used or any(isinstance(i, isa.Bal) for i in fn.all_insns())
+
+
+def test_regalloc_spills_under_pressure():
+    # 40 simultaneously-live values cannot fit 29 usable registers.
+    decls = "".join("u32 v%d = x + %d; " % (i, i) for i in range(40))
+    total = " + ".join("v%d" % i for i in range(40))
+    src = "u32 f(u32 x) { %s return %s; }" % (decls, total) + PASSTHROUGH
+    ctx, fn = lower_one(src, "f", "BASE")
+    allocate_function(fn)
+    assert fn.frame_slots > 0
+    spills = [i for i in fn.all_insns() if isinstance(i, (isa.StackRead, isa.StackWrite))]
+    assert spills
+
+
+def test_normalize_splits_midblock_branches():
+    ctx, fn = lower_one(
+        "u32 f(u32 a, u32 b) { return a < b ? a : b; }" + PASSTHROUGH, "f"
+    )
+    normalize(fn)
+    for bb in fn.blocks:
+        for insn in bb.insns[:-1]:
+            assert not isinstance(insn, (isa.Br, isa.Rtn))
+
+
+def test_call_live_values_homed():
+    src = (
+        "u32 g(u32 x) { return x + 1; } "
+        "u32 f(u32 a, u32 b) { u32 s = a * 3; u32 t = g(b); return s + t; }"
+        + PASSTHROUGH
+    )
+    ctx, fn = lower_one(src, "f", "BASE")  # BASE: no inlining, real call
+    allocate_function(fn)
+    # 's' lives across the call: it must be written to and read from the frame.
+    assert any(isinstance(i, isa.StackWrite) for i in fn.all_insns())
+    assert any(isinstance(i, isa.StackRead) for i in fn.all_insns())
+
+
+# -- stack layout --------------------------------------------------------------------
+
+
+def _linear_fns(sizes):
+    """Chain f0 -> f1 -> ... with given frame sizes."""
+    fns = {}
+    prev_entry = None
+    for i, size in enumerate(reversed(sizes)):
+        fn = isa.LIRFunction("f%d" % (len(sizes) - 1 - i))
+        bb = fn.new_block(fn.entry_label)
+        if prev_entry is not None:
+            bb.emit(isa.Bal(prev_entry, abi.LINK))
+        bb.emit(isa.Rtn(abi.LINK))
+        fn.frame_slots = size
+        fns[fn.name] = fn
+        prev_entry = fn.entry_label
+    return dict(sorted(fns.items()))
+
+
+def test_stack_frames_stack_up_in_lm():
+    fns = _linear_fns([8, 8, 8])
+    layout = layout_frames(fns, roots=["f0"], stack_opt=True)
+    assert layout.placements["f0"].base_word == 0
+    assert layout.placements["f1"].base_word == 8
+    assert layout.placements["f2"].base_word == 16
+    assert not layout.any_sram_frames
+
+
+def test_stack_overflow_goes_to_sram():
+    fns = _linear_fns([40, 40])
+    layout = layout_frames(fns, roots=["f0"], stack_opt=True)
+    assert layout.placements["f0"].region == "lm"
+    assert layout.placements["f1"].region == "sram"
+
+
+def test_stack_unoptimized_rounds_to_16():
+    fns = _linear_fns([3, 3, 3])
+    layout = layout_frames(fns, roots=["f0"], stack_opt=False)
+    assert layout.placements["f1"].base_word == 16
+    assert layout.placements["f2"].base_word == 32
+    # 3 frames x 16 words exactly fills the 48-word thread budget.
+    assert not layout.any_sram_frames
+    fns4 = _linear_fns([3, 3, 3, 3])
+    layout4 = layout_frames(fns4, roots=["f0"], stack_opt=False)
+    assert layout4.any_sram_frames  # the 4th frame no longer fits
+
+
+def test_stack_max_over_callers():
+    # h called from both f (frame 4) and g (frame 20): h's base must
+    # clear the larger caller.
+    f = isa.LIRFunction("f")
+    g = isa.LIRFunction("g")
+    h = isa.LIRFunction("h")
+    for fn, size, callee in ((f, 4, h), (g, 20, h), (h, 4, None)):
+        bb = fn.new_block(fn.entry_label)
+        if callee is not None:
+            bb.emit(isa.Bal(callee.entry_label, abi.LINK))
+        bb.emit(isa.Rtn(abi.LINK))
+        fn.frame_slots = size
+    fns = {"f": f, "g": g, "h": h}
+    layout = layout_frames(fns, roots=["f", "g"], stack_opt=True)
+    assert layout.placements["h"].base_word == 20
+
+
+def test_resolve_stack_to_lm_offset_addressing():
+    fn = isa.LIRFunction("f")
+    bb = fn.new_block(fn.entry_label)
+    r = isa.PReg("a", 1)
+    bb.emit(isa.StackWrite(2, r))
+    bb.emit(isa.StackRead(r, 2))
+    bb.emit(isa.Rtn(abi.LINK))
+    fn.frame_slots = 4
+    layout = layout_frames({"f": fn}, roots=["f"])
+    resolve_stack_accesses({"f": fn}, layout)
+    kinds = [type(i) for i in fn.all_insns()]
+    assert isa.LmWrite in kinds and isa.LmRead in kinds
+    lm = [i for i in fn.all_insns() if isinstance(i, (isa.LmRead, isa.LmWrite))]
+    assert all(i.thread_rel for i in lm)
+
+
+# -- assembly -------------------------------------------------------------------------
+
+
+def test_image_within_code_store():
+    result = compile_full("SWC")
+    for image in result.images.values():
+        assert image.code_size <= CODE_STORE_WORDS
+        assert image.insns
+
+
+def test_image_branches_resolved():
+    result = compile_full("SWC")
+    for image in result.images.values():
+        for insn in image.insns:
+            if isinstance(insn, (isa.Br, isa.Bal)):
+                assert insn.resolved is not None
+                assert 0 <= insn.resolved < len(image.insns)
+
+
+def test_image_dispatch_first():
+    result = compile_full("SWC")
+    for image in result.images.values():
+        assert image.functions[0] == "__dispatch"
+        assert image.entry == image.label_index["__dispatch__entry"]
+
+
+def test_base_images_contain_helpers():
+    result = compile_full("BASE")
+    image = next(iter(result.images.values()))
+    assert any(name.startswith("__pkt_") for name in image.functions)
+
+
+def test_o2_images_have_no_helpers():
+    result = compile_full("O2")
+    image = next(iter(result.images.values()))
+    assert not any(name.startswith("__pkt_") for name in image.functions)
+
+
+def test_code_size_decreases_with_soar():
+    pac = compile_full("PAC")
+    soar = compile_full("SOAR")
+    pac_size = sum(i.code_size for i in pac.images.values())
+    soar_size = sum(i.code_size for i in soar.images.values())
+    assert soar_size < pac_size
