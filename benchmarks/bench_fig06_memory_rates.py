@@ -90,7 +90,7 @@ def measure(space: str, units: int, accesses: int, n_mes: int = 6) -> float:
 
     chip.run(80_000, stop=lambda: tx.packets_out() >= 120)
     t0, p0, b0 = chip.now, tx.packets_out(), tx.bytes_out
-    chip.run(chip.now + 400_000, stop=lambda: tx.packets_out() >= p0 + 400)
+    chip.run_for(400_000, stop=lambda: tx.packets_out() >= p0 + 400)
     dt = (chip.now - t0) / ME_HZ
     return (tx.bytes_out - b0) * 8 / dt / 1e9 if dt > 0 else 0.0
 

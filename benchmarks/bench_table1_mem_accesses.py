@@ -13,8 +13,7 @@ Firewall unchanged.
 
 from __future__ import annotations
 
-import pytest
-
+from repro import obs
 from repro.rts.system import run_on_simulator
 
 # The paper's Table 1 rows, bottom-up: BASE, +O1, +PAC, +PHR, +SWC
@@ -28,11 +27,13 @@ HEADER = "%-9s %-5s | %8s %8s %8s | %8s %8s | %7s" % (
 
 def measure_profiles(compile_cache):
     rows = {}
+    reg = obs.get_registry()
     for app in APPS:
         for level in LEVELS:
             result, trace = compile_cache(app, level)
-            run = run_on_simulator(result, trace, n_mes=2,
-                                   warmup_packets=60, measure_packets=250)
+            with reg.labels(app=app, level=level):
+                run = run_on_simulator(result, trace, n_mes=2,
+                                       warmup_packets=60, measure_packets=250)
             rows[(app, level)] = run.access_profile
     return rows
 

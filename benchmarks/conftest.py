@@ -13,19 +13,35 @@ import pytest
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
 
+from repro import obs
 from repro.apps import get_app
 from repro.compiler import compile_baker
 from repro.options import options_for
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+METRICS_JSONL = os.path.join(RESULTS_DIR, "metrics.jsonl")
 
 TRACE_PACKETS = 200
 TRACE_SEED = 5
 
 
+@pytest.fixture(scope="session", autouse=True)
+def obs_registry():
+    """Benchmarks always run with observability on; the whole session's
+    metrics land in benchmarks/results/metrics.jsonl (render them with
+    ``python -m repro.obs.report``)."""
+    reg = obs.enable()
+    yield reg
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    reg.dump_jsonl(METRICS_JSONL)
+    print("\nmetrics: %s (render: python -m repro.obs.report %s)"
+          % (METRICS_JSONL, METRICS_JSONL))
+
+
 @pytest.fixture(scope="session")
 def compile_cache():
-    """(app, level) -> (CompileResult, trace); compiled once per session."""
+    """(app, level) -> (CompileResult, trace); compiled once per session.
+    Compile-time metrics are scoped under {app=..., level=...}."""
     cache = {}
 
     def get(app_name: str, level: str):
@@ -33,7 +49,8 @@ def compile_cache():
         if key not in cache:
             app = get_app(app_name)
             trace = app.make_trace(TRACE_PACKETS, seed=TRACE_SEED)
-            result = compile_baker(app.source, options_for(level), trace)
+            with obs.get_registry().labels(app=app_name, level=level):
+                result = compile_baker(app.source, options_for(level), trace)
             cache[key] = (result, trace)
         return cache[key]
 

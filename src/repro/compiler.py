@@ -27,6 +27,8 @@ from repro.baker.lowering import lower_program
 from repro.baker.semantic import CheckedProgram
 from repro.ir.module import IRModule
 from repro.ir.verifier import verify_module
+from repro.obs import metrics as obs_metrics
+from repro.obs.telemetry import record_ir_stage, record_opt_results
 from repro.opt import inline, pac, phr, soar, swc
 from repro.opt.pipeline import run_scalar_pipeline, scalar_optimize_function
 from repro.options import CompilerOptions, options_for
@@ -62,56 +64,75 @@ def compile_ir(
 ) -> CompileResult:
     """Run the mid-end (profile, optimize, aggregate, packet opts) over an
     already-lowered module."""
-    profile = run_reference(mod, trace).profile
+    reg = obs_metrics.get_registry()
+    record_ir_stage(reg, "initial", mod)
 
-    run_scalar_pipeline(mod, opts)
+    with reg.timer("compile.stage", stage="profile").time():
+        profile = run_reference(mod, trace).profile
 
-    plan = form_aggregates(mod, profile, opts, target_gbps=target_gbps)
-    apply_plan(mod, plan)
-    if opts.inline:
-        # Complete the merges: internally-called PPFs inline away.
-        inline.run(mod)
-    _prune_dead_functions(mod, plan)
-    if opts.scalar:
-        for fn in mod.functions.values():
-            scalar_optimize_function(fn)
+    with reg.timer("compile.stage", stage="scalar").time():
+        run_scalar_pipeline(mod, opts)
+    record_ir_stage(reg, "scalar", mod)
+
+    with reg.timer("compile.stage", stage="aggregate").time():
+        plan = form_aggregates(mod, profile, opts, target_gbps=target_gbps)
+        apply_plan(mod, plan)
+        if opts.inline:
+            # Complete the merges: internally-called PPFs inline away.
+            inline.run(mod)
+        _prune_dead_functions(mod, plan)
+        if opts.scalar:
+            for fn in mod.functions.values():
+                scalar_optimize_function(fn)
+    record_ir_stage(reg, "aggregate", mod)
 
     result = CompileResult(checked=checked, mod=mod, profile=profile,
                            plan=plan, opts=opts)
 
     if opts.pac:
-        result.pac_result = pac.run(mod)
+        with reg.timer("compile.stage", stage="pac").time():
+            result.pac_result = pac.run(mod)
+        record_ir_stage(reg, "pac", mod)
     if opts.soar or opts.phr:
-        result.soar_result = soar.run(mod)
-    if opts.phr:
-        result.phr_result = phr.run(mod)
-        if opts.scalar:
-            for fn in mod.functions.values():
-                scalar_optimize_function(fn)
-        if opts.pac:
-            # PHR re-bases accesses of elided encap/decap pairs onto one
-            # common head, so a second combining pass can merge accesses
-            # across former protocol boundaries (the paper's dependence
-            # analysis reaches the same result in one pass); SOAR then
-            # re-annotates the new wide accesses.
-            second = pac.run(mod)
-            result.pac_result.combined_loads += second.combined_loads
-            result.pac_result.combined_stores += second.combined_stores
-            result.pac_result.wide_loads += second.wide_loads
-            result.pac_result.wide_stores += second.wide_stores
+        with reg.timer("compile.stage", stage="soar").time():
             result.soar_result = soar.run(mod)
+        record_ir_stage(reg, "soar", mod)
+    if opts.phr:
+        with reg.timer("compile.stage", stage="phr").time():
+            result.phr_result = phr.run(mod)
             if opts.scalar:
                 for fn in mod.functions.values():
                     scalar_optimize_function(fn)
+            if opts.pac:
+                # PHR re-bases accesses of elided encap/decap pairs onto one
+                # common head, so a second combining pass can merge accesses
+                # across former protocol boundaries (the paper's dependence
+                # analysis reaches the same result in one pass); SOAR then
+                # re-annotates the new wide accesses.
+                second = pac.run(mod)
+                result.pac_result.combined_loads += second.combined_loads
+                result.pac_result.combined_stores += second.combined_stores
+                result.pac_result.wide_loads += second.wide_loads
+                result.pac_result.wide_stores += second.wide_stores
+                result.soar_result = soar.run(mod)
+                if opts.scalar:
+                    for fn in mod.functions.values():
+                        scalar_optimize_function(fn)
+        record_ir_stage(reg, "phr", mod)
 
     result.fast_functions = plan.fast_functions(mod)
     if opts.swc:
-        swc_result = swc.select_candidates(mod, profile, result.fast_functions)
-        swc.apply(mod, swc_result, result.fast_functions,
-                  check_period=opts.swc_check_period)
-        result.swc_result = swc_result
+        with reg.timer("compile.stage", stage="swc").time():
+            swc_result = swc.select_candidates(mod, profile,
+                                               result.fast_functions)
+            swc.apply(mod, swc_result, result.fast_functions,
+                      check_period=opts.swc_check_period)
+            result.swc_result = swc_result
+        record_ir_stage(reg, "swc", mod)
 
-    verify_module(mod)
+    with reg.timer("compile.stage", stage="verify").time():
+        verify_module(mod)
+    record_opt_results(reg, result)
     return result
 
 
@@ -162,11 +183,15 @@ def compile_baker(
         opts = options_for("SWC")
     if trace is None:
         trace = Trace([])
-    checked = parse_and_check(source, filename)
-    mod = lower_program(checked)
+    reg = obs_metrics.get_registry()
+    with reg.timer("compile.stage", stage="frontend").time():
+        checked = parse_and_check(source, filename)
+    with reg.timer("compile.stage", stage="lower").time():
+        mod = lower_program(checked)
     result = compile_ir(mod, checked, opts, trace, target_gbps)
     if codegen:
         from repro.cg.assemble import generate_images
 
-        generate_images(result)
+        with reg.timer("compile.stage", stage="codegen").time():
+            generate_images(result)
     return result

@@ -35,6 +35,10 @@ class IXP2400:
         self.now = 0.0
         self._events: List[Tuple[float, int, object]] = []
         self._seq = 0
+        # Optional repro.obs.SimSampler, polled by run() between event
+        # dispatches (never scheduled on the heap, so attaching one does
+        # not perturb event order or stop-condition cadence).
+        self.sampler = None
 
     # -- symbols / rings ---------------------------------------------------------
 
@@ -105,20 +109,38 @@ class IXP2400:
     def run(self, until_cycles: float,
             stop: Optional[Callable[[], bool]] = None,
             stop_check_interval: int = 64) -> None:
-        """Advance simulation until ``until_cycles`` (or ``stop()``)."""
+        """Advance simulation until the **absolute** simulated time
+        ``until_cycles`` (or until ``stop()`` returns true).
+
+        ``until_cycles`` is a deadline on the simulation clock, not a
+        budget relative to ``self.now`` -- calling ``run(X)`` twice does
+        not advance time past ``X``. Use :meth:`run_for` for a relative
+        budget.
+        """
         checked = 0
+        sampler = self.sampler
         while self._events:
             time, seq, action = heapq.heappop(self._events)
             if time > until_cycles:
                 heapq.heappush(self._events, (time, seq, action))
                 break
             self.now = max(self.now, time)
+            if sampler is not None and self.now >= sampler.next_t:
+                sampler.sample(self.now)
             nxt = action()
             if nxt is not None:
                 self.schedule(max(nxt, self.now + 1e-9), action)
             checked += 1
             if stop is not None and checked % stop_check_interval == 0 and stop():
                 break
+
+    def run_for(self, cycles: float,
+                stop: Optional[Callable[[], bool]] = None,
+                stop_check_interval: int = 64) -> None:
+        """Advance simulation by at most ``cycles`` **relative** to the
+        current time (the unambiguous spelling of a drain budget)."""
+        self.run(self.now + cycles, stop=stop,
+                 stop_check_interval=stop_check_interval)
 
     @property
     def seconds(self) -> float:

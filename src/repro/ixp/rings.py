@@ -18,6 +18,8 @@ class Ring:
         self.puts = 0
         self.gets = 0
         self.drops = 0  # rejected puts (ring full)
+        self.empty_gets = 0  # gets that returned 0 (ring empty)
+        self.max_depth = 0  # occupancy high watermark
 
     def put(self, value: int) -> bool:
         if len(self.items) >= self.capacity:
@@ -25,10 +27,13 @@ class Ring:
             return False
         self.items.append(value & 0xFFFFFFFF)
         self.puts += 1
+        if len(self.items) > self.max_depth:
+            self.max_depth = len(self.items)
         return True
 
     def get(self) -> int:
         if not self.items:
+            self.empty_gets += 1
             return 0
         self.gets += 1
         return self.items.popleft()

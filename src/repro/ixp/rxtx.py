@@ -41,7 +41,18 @@ class RxEngine:
         self.max_packets = max_packets
         self.repeat = repeat
         self.sent = 0
-        self.dropped = 0
+        # Drops by cause (free pool exhausted vs. rx ring backlogged);
+        # ``dropped`` is the total the measurement code reports.
+        self.dropped_freelist = 0
+        self.dropped_ring_full = 0
+        # Handles lost while recycling into a full free ring (must stay
+        # zero: the free rings are sized to hold the whole pool).
+        self.leaked_buffers = 0
+        self.leaked_meta = 0
+
+    @property
+    def dropped(self) -> int:
+        return self.dropped_freelist + self.dropped_ring_full
 
     def interval_cycles(self, frame_bytes: int) -> float:
         seconds = frame_bytes * 8 / (self.offered_gbps * GBPS)
@@ -49,14 +60,19 @@ class RxEngine:
 
     def inject_next(self) -> Optional[float]:
         """Inject one packet now; returns the delay until the next
-        injection (None when the trace is exhausted)."""
+        injection (None when the trace is exhausted).
+
+        All exhaustion guards (``max_packets`` budget, empty trace,
+        one-shot trace fully sent) run *before* a packet is selected, so
+        ``sent`` is exactly the number of injected packets under every
+        combination of ``repeat`` and ``max_packets``."""
         if self.max_packets is not None and self.sent >= self.max_packets:
             return None
         if not self.packets:
             return None
-        tp = self.packets[self.sent % len(self.packets)]
         if not self.repeat and self.sent >= len(self.packets):
             return None
+        tp = self.packets[self.sent % len(self.packets)]
         self.sent += 1
         self._deliver(tp)
         return self.interval_cycles(len(tp.data))
@@ -67,11 +83,14 @@ class RxEngine:
         buf = chip.rings["ring.__buf_free"].get()
         rx_ring = chip.rings["ring.rx"]
         if meta == 0 or buf == 0 or len(rx_ring) >= rx_ring.capacity:
-            self.dropped += 1
-            if meta:
-                chip.rings["ring.__meta_free"].put(meta)
-            if buf:
-                chip.rings["ring.__buf_free"].put(buf)
+            if meta == 0 or buf == 0:
+                self.dropped_freelist += 1
+            else:
+                self.dropped_ring_full += 1
+            if meta and not chip.rings["ring.__meta_free"].put(meta):
+                self.leaked_meta += 1
+            if buf and not chip.rings["ring.__buf_free"].put(buf):
+                self.leaked_buffers += 1
             return
         chip.memory.write_bytes("dram", buf + HEADROOM_BYTES, tp.data)
         words = [buf, HEADROOM_BYTES, len(tp.data), tp.rx_port]
@@ -89,6 +108,9 @@ class TxEngine:
         self.busy_until = 0.0
         self.records: List[TxRecord] = []
         self.bytes_out = 0
+        # Handles lost recycling into a full free ring (must stay zero).
+        self.leaked_buffers = 0
+        self.leaked_meta = 0
 
     def poll(self, now: float) -> None:
         ring = self.chip.rings["ring.tx"]
@@ -100,8 +122,10 @@ class TxEngine:
             self.bytes_out += length
             tx_cycles = length * 8 / (self.line_gbps * GBPS) * ME_HZ
             self.busy_until = max(self.busy_until, now) + tx_cycles
-            self.chip.rings["ring.__buf_free"].put(buf)
-            self.chip.rings["ring.__meta_free"].put(meta)
+            if not self.chip.rings["ring.__buf_free"].put(buf):
+                self.leaked_buffers += 1
+            if not self.chip.rings["ring.__meta_free"].put(meta):
+                self.leaked_meta += 1
 
     def packets_out(self) -> int:
         return len(self.records)

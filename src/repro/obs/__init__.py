@@ -1,0 +1,53 @@
+"""Structured observability for the compiler and the simulated chip.
+
+Usage::
+
+    from repro import obs
+
+    reg = obs.enable()                      # or REPRO_OBS=1 in the env
+    result = compile_baker(src, opts, trace)
+    run = run_on_simulator(result, trace,
+                           metrics_jsonl="metrics.jsonl")
+    # then: python -m repro.obs.report metrics.jsonl
+
+The registry is process-global and *disabled* by default; every
+instrumentation site degrades to a no-op (shared :data:`NULL` metric)
+when it is off. See DESIGN.md section 7.
+"""
+
+from repro.obs.metrics import (
+    NULL,
+    Counter,
+    Gauge,
+    Histogram,
+    Metric,
+    MetricsRegistry,
+    Series,
+    Timer,
+    disable,
+    enable,
+    get_registry,
+    is_enabled,
+)
+from repro.obs.sim import SimSampler, record_run_summary
+from repro.obs.telemetry import ir_counts, record_ir_stage, record_opt_results
+
+__all__ = [
+    "NULL",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricsRegistry",
+    "Series",
+    "SimSampler",
+    "Timer",
+    "disable",
+    "enable",
+    "get_registry",
+    "ir_counts",
+    "is_enabled",
+    "record_ir_stage",
+    "record_opt_results",
+    "record_run_summary",
+]

@@ -1,0 +1,339 @@
+"""Lightweight metrics registry: counters, gauges, timers, histograms
+and time series, with JSONL export.
+
+Design goals (see DESIGN.md section 7):
+
+* **Near-zero overhead when disabled.** A disabled registry hands out a
+  shared :data:`NULL` metric whose methods are no-ops, so instrumented
+  code pays one dict-free call per metric fetch and nothing per update.
+  The global registry is disabled by default; benchmarks and tools
+  enable it explicitly (or via ``REPRO_OBS=1``).
+* **Deterministic.** Recording never perturbs compiler output or
+  simulated time; the simulator sampler piggybacks on the existing
+  event loop instead of scheduling events of its own, so enabled and
+  disabled runs produce bit-identical :class:`~repro.rts.system.RunResult`
+  numbers.
+* **Labels.** Metrics carry a flat ``labels`` dict. A registry keeps a
+  stack of default labels (:meth:`MetricsRegistry.labels`) so a
+  benchmark can scope everything recorded during one compile+run under
+  ``{app=..., level=...}`` without threading context everywhere.
+
+Export is one JSON object per line (``dump_jsonl``); the companion
+renderer is :mod:`repro.obs.report`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class _NullMetric:
+    """Shared sink for every metric type when the registry is disabled.
+
+    Doubles as a no-op context manager so ``timer(...).time()`` works
+    unchanged in instrumented code.
+    """
+
+    __slots__ = ()
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+    def set(self, value) -> None:
+        pass
+
+    def observe(self, value) -> None:
+        pass
+
+    def sample(self, t, value) -> None:
+        pass
+
+    def record(self, seconds: float) -> None:
+        pass
+
+    def time(self) -> "_NullMetric":
+        return self
+
+    def __enter__(self) -> "_NullMetric":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+#: The shared disabled-metric singleton.
+NULL = _NullMetric()
+
+
+class Metric:
+    kind = "metric"
+    __slots__ = ("name", "labels")
+
+    def __init__(self, name: str, labels: Dict[str, object]):
+        self.name = name
+        self.labels = labels
+
+    def _payload(self) -> Dict[str, object]:  # pragma: no cover - abstract
+        return {}
+
+    def to_record(self) -> Dict[str, object]:
+        rec: Dict[str, object] = {"type": self.kind, "name": self.name}
+        if self.labels:
+            rec["labels"] = dict(self.labels)
+        rec.update(self._payload())
+        return rec
+
+
+class Counter(Metric):
+    """Monotonically increasing count."""
+
+    kind = "counter"
+    __slots__ = ("value",)
+
+    def __init__(self, name, labels):
+        super().__init__(name, labels)
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def _payload(self):
+        return {"value": self.value}
+
+
+class Gauge(Metric):
+    """Last-write-wins scalar."""
+
+    kind = "gauge"
+    __slots__ = ("value",)
+
+    def __init__(self, name, labels):
+        super().__init__(name, labels)
+        self.value = 0.0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def _payload(self):
+        return {"value": self.value}
+
+
+class _TimerContext:
+    __slots__ = ("timer", "t0")
+
+    def __init__(self, timer: "Timer"):
+        self.timer = timer
+        self.t0 = 0.0
+
+    def __enter__(self):
+        self.t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.timer.record(time.perf_counter() - self.t0)
+        return False
+
+
+class Timer(Metric):
+    """Accumulated wall time over ``count`` timed sections."""
+
+    kind = "timer"
+    __slots__ = ("count", "total_s")
+
+    def __init__(self, name, labels):
+        super().__init__(name, labels)
+        self.count = 0
+        self.total_s = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.count += 1
+        self.total_s += seconds
+
+    def time(self) -> _TimerContext:
+        return _TimerContext(self)
+
+    def _payload(self):
+        return {"count": self.count, "total_s": self.total_s}
+
+
+class Histogram(Metric):
+    """Summary statistics (count / sum / min / max / mean) of observed
+    values. Bucket-free on purpose: the report only needs summaries."""
+
+    kind = "histogram"
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self, name, labels):
+        super().__init__(name, labels)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def _payload(self):
+        return {"count": self.count, "total": self.total,
+                "min": self.min, "max": self.max, "mean": self.mean}
+
+
+class Series(Metric):
+    """(t, value) samples over simulated time, with bounded memory: when
+    the buffer fills, every other retained sample is dropped and the
+    acceptance stride doubles, so long runs keep an evenly thinned
+    history instead of growing without bound."""
+
+    kind = "series"
+    __slots__ = ("samples", "max_samples", "_stride", "_seen")
+
+    def __init__(self, name, labels, max_samples: int = 4096):
+        super().__init__(name, labels)
+        self.samples: List[Tuple[float, float]] = []
+        self.max_samples = max_samples
+        self._stride = 1
+        self._seen = 0
+
+    def sample(self, t, value) -> None:
+        self._seen += 1
+        if self._seen % self._stride:
+            return
+        self.samples.append((t, value))
+        if len(self.samples) >= self.max_samples:
+            del self.samples[::2]
+            self._stride *= 2
+
+    def summary(self) -> Dict[str, float]:
+        if not self.samples:
+            return {"n": 0, "min": 0.0, "max": 0.0, "mean": 0.0, "last": 0.0}
+        vals = [v for _, v in self.samples]
+        return {"n": len(vals), "min": min(vals), "max": max(vals),
+                "mean": sum(vals) / len(vals), "last": vals[-1]}
+
+    def _payload(self):
+        return {"summary": self.summary(),
+                "samples": [[t, v] for t, v in self.samples]}
+
+
+class _LabelScope:
+    __slots__ = ("registry", "merged")
+
+    def __init__(self, registry: "MetricsRegistry", merged: Dict[str, object]):
+        self.registry = registry
+        self.merged = merged
+
+    def __enter__(self):
+        self.registry._label_stack.append(self.merged)
+        return self.registry
+
+    def __exit__(self, *exc) -> bool:
+        self.registry._label_stack.pop()
+        return False
+
+
+class MetricsRegistry:
+    """Get-or-create store of metrics keyed by (kind, name, labels)."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._metrics: Dict[Tuple, Metric] = {}
+        self._label_stack: List[Dict[str, object]] = [{}]
+
+    # -- metric accessors --------------------------------------------------------
+
+    def _get(self, cls, name: str, labels: Dict[str, object]):
+        if not self.enabled:
+            return NULL
+        merged = self._label_stack[-1]
+        if labels:
+            merged = dict(merged)
+            merged.update(labels)
+        key = (cls.kind, name, tuple(sorted(merged.items())))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, merged)
+            self._metrics[key] = metric
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def timer(self, name: str, **labels) -> Timer:
+        return self._get(Timer, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    def series(self, name: str, **labels) -> Series:
+        return self._get(Series, name, labels)
+
+    # -- label scoping -----------------------------------------------------------
+
+    def labels(self, **labels) -> _LabelScope:
+        """Context manager: apply default labels to metrics created (or
+        fetched) inside the ``with`` block."""
+        merged = dict(self._label_stack[-1])
+        merged.update(labels)
+        return _LabelScope(self, merged)
+
+    # -- export ------------------------------------------------------------------
+
+    def metrics(self) -> Iterable[Metric]:
+        return self._metrics.values()
+
+    def records(self) -> List[Dict[str, object]]:
+        recs = [m.to_record() for m in self._metrics.values()]
+        recs.sort(key=lambda r: (r["type"], r["name"],
+                                 sorted((r.get("labels") or {}).items())))
+        return recs
+
+    def dump_jsonl(self, path: str) -> str:
+        d = os.path.dirname(os.path.abspath(path))
+        if d:
+            os.makedirs(d, exist_ok=True)
+        with open(path, "w") as fh:
+            for rec in self.records():
+                fh.write(json.dumps(rec) + "\n")
+        return path
+
+    def clear(self) -> None:
+        self._metrics.clear()
+        self._label_stack = [{}]
+
+
+# -- process-global registry ----------------------------------------------------
+
+_GLOBAL = MetricsRegistry(enabled=bool(os.environ.get("REPRO_OBS")))
+
+
+def get_registry() -> MetricsRegistry:
+    return _GLOBAL
+
+
+def enable() -> MetricsRegistry:
+    _GLOBAL.enabled = True
+    return _GLOBAL
+
+
+def disable() -> MetricsRegistry:
+    _GLOBAL.enabled = False
+    return _GLOBAL
+
+
+def is_enabled() -> bool:
+    return _GLOBAL.enabled

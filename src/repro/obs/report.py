@@ -1,0 +1,286 @@
+"""Render a metrics JSONL dump as a human-readable text report.
+
+Usage::
+
+    python -m repro.obs.report [metrics.jsonl] [--only key=value ...]
+
+The input is whatever :meth:`repro.obs.MetricsRegistry.dump_jsonl`
+wrote (benchmarks write ``benchmarks/results/metrics.jsonl``). Records
+are grouped into *scopes* by their non-structural labels (e.g. the
+``app``/``level`` a benchmark tagged), then rendered section by
+section: compile stage timings, IR size per stage, opt-pass counters,
+ring statistics, per-ME utilization, memory-channel load, Rx/Tx
+accounting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+#: Labels that select a row *within* a section rather than a scope.
+STRUCTURAL_LABELS = {"stage", "ring", "me", "channel", "cause", "kind",
+                     "engine", "passname", "aggregate"}
+
+#: Render compiler stages in pipeline order, not alphabetically.
+STAGE_ORDER = ["frontend", "lower", "initial", "profile", "scalar",
+               "aggregate", "pac", "soar", "phr", "swc", "verify",
+               "codegen"]
+
+
+def load_records(path: str) -> List[dict]:
+    records = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def _scope_key(rec: dict) -> Tuple:
+    labels = rec.get("labels") or {}
+    return tuple(sorted((k, v) for k, v in labels.items()
+                        if k not in STRUCTURAL_LABELS))
+
+
+def _slabel(rec: dict, key: str, default="") -> str:
+    return str((rec.get("labels") or {}).get(key, default))
+
+
+def _stage_sort(stage: str) -> Tuple[int, str]:
+    try:
+        return (STAGE_ORDER.index(stage), stage)
+    except ValueError:
+        return (len(STAGE_ORDER), stage)
+
+
+def _table(lines: List[str], header: List[str], rows: List[List[str]],
+           indent: str = "  ") -> None:
+    if not rows:
+        return
+    widths = [max(len(h), *(len(r[i]) for r in rows))
+              for i, h in enumerate(header)]
+    fmt = "  ".join("%%-%ds" % w for w in widths)
+    lines.append(indent + fmt % tuple(header))
+    for row in rows:
+        lines.append(indent + fmt % tuple(row))
+
+
+def _pick(recs: List[dict], rtype: str, name: str) -> List[dict]:
+    return [r for r in recs if r["type"] == rtype and r["name"] == name]
+
+
+def _gauge_by(recs: List[dict], name: str, label: str) -> Dict[str, float]:
+    return {_slabel(r, label): r["value"] for r in _pick(recs, "gauge", name)}
+
+
+def _render_scope(recs: List[dict], lines: List[str]) -> None:
+    # -- compile stage timings ---------------------------------------------------
+    timers = _pick(recs, "timer", "compile.stage")
+    if timers:
+        lines.append("Compile stages (wall time):")
+        rows = []
+        total = 0.0
+        for r in sorted(timers, key=lambda r: _stage_sort(_slabel(r, "stage"))):
+            total += r["total_s"]
+            rows.append([_slabel(r, "stage"), str(r["count"]),
+                         "%.1f" % (r["total_s"] * 1e3)])
+        rows.append(["TOTAL", "", "%.1f" % (total * 1e3)])
+        _table(lines, ["stage", "calls", "ms"], rows)
+        lines.append("")
+
+    # -- IR size per stage -------------------------------------------------------
+    fns = _gauge_by(recs, "compile.ir.functions", "stage")
+    blocks = _gauge_by(recs, "compile.ir.blocks", "stage")
+    instrs = _gauge_by(recs, "compile.ir.instrs", "stage")
+    if instrs:
+        lines.append("IR size after each stage:")
+        rows = []
+        prev = None
+        for stage in sorted(instrs, key=_stage_sort):
+            n = instrs[stage]
+            delta = "" if prev is None else "%+d" % (n - prev)
+            prev = n
+            rows.append([stage, "%d" % fns.get(stage, 0),
+                         "%d" % blocks.get(stage, 0), "%d" % n, delta])
+        _table(lines, ["stage", "functions", "blocks", "instrs", "delta"], rows)
+        lines.append("")
+
+    # -- opt-pass counters -------------------------------------------------------
+    opt = [r for r in recs if r["name"].startswith("opt.")
+           and r["type"] in ("counter", "gauge")]
+    if opt:
+        lines.append("Optimization passes:")
+        rows = []
+        for r in sorted(opt, key=lambda r: (r["name"], _slabel(r, "passname"))):
+            name = r["name"]
+            extra = _slabel(r, "passname")
+            if extra:
+                name += "{%s}" % extra
+            rows.append([name, "%g" % r["value"]])
+        _table(lines, ["counter", "value"], rows)
+        hist = _pick(recs, "histogram", "opt.scalar.iterations")
+        for h in hist:
+            lines.append("  scalar fixpoint: %d function runs, "
+                         "%.1f iterations avg (max %g)"
+                         % (h["count"], h["mean"], h["max"] or 0))
+        lines.append("")
+
+    # -- ring statistics ---------------------------------------------------------
+    caps = _gauge_by(recs, "sim.ring.capacity", "ring")
+    if caps:
+        depth = _gauge_by(recs, "sim.ring.depth", "ring")
+        maxd = _gauge_by(recs, "sim.ring.max_depth", "ring")
+        puts = _gauge_by(recs, "sim.ring.puts", "ring")
+        gets = _gauge_by(recs, "sim.ring.gets", "ring")
+        drops = _gauge_by(recs, "sim.ring.drops", "ring")
+        empty = _gauge_by(recs, "sim.ring.empty_gets", "ring")
+        occ = {_slabel(r, "ring"): r["summary"]
+               for r in _pick(recs, "series", "sim.ring_depth")}
+        lines.append("Rings (occupancy / drops):")
+        rows = []
+        for ring in sorted(caps):
+            s = occ.get(ring)
+            rows.append([
+                ring, "%d" % caps[ring], "%d" % depth.get(ring, 0),
+                "%d" % maxd.get(ring, 0), "%d" % puts.get(ring, 0),
+                "%d" % gets.get(ring, 0), "%d" % drops.get(ring, 0),
+                "%d" % empty.get(ring, 0),
+                "%.1f" % s["mean"] if s else "-",
+            ])
+        _table(lines, ["ring", "cap", "depth", "max", "puts", "gets",
+                       "drops", "empty_gets", "occ.mean"], rows)
+        lines.append("")
+
+    # -- per-ME utilization ------------------------------------------------------
+    util = _gauge_by(recs, "sim.me.utilization", "me")
+    if util:
+        instrs_g = _gauge_by(recs, "sim.me.executed_instrs", "me")
+        lines.append("Microengines:")
+        rows = []
+        for me in sorted(util, key=lambda m: int(m)):
+            rows.append([me, "%.1f%%" % (util[me] * 100),
+                         "%d" % instrs_g.get(me, 0)])
+        _table(lines, ["me", "busy", "instrs"], rows)
+        lines.append("")
+
+    # -- memory channels ---------------------------------------------------------
+    busy = _gauge_by(recs, "sim.mem.busy_cycles", "channel")
+    if busy:
+        mutil = _gauge_by(recs, "sim.mem.utilization", "channel")
+        lines.append("Memory channels:")
+        rows = []
+        for ch in sorted(busy):
+            u = mutil.get(ch)
+            rows.append([ch, "%.0f" % busy[ch],
+                         "%.1f%%" % (u * 100) if u is not None else "-"])
+        _table(lines, ["channel", "busy_cycles", "util"], rows)
+        lines.append("")
+
+    # -- Rx/Tx accounting --------------------------------------------------------
+    rx_offered = _pick(recs, "gauge", "sim.rx.offered")
+    if rx_offered:
+        drops = {(_slabel(r, "cause")): r["value"]
+                 for r in _pick(recs, "gauge", "sim.rx.dropped")}
+        tx_pkts = _pick(recs, "gauge", "sim.tx.packets")
+        tx_bytes = _pick(recs, "gauge", "sim.tx.bytes")
+        leaks = {(_slabel(r, "engine"), _slabel(r, "kind")): r["value"]
+                 for r in _pick(recs, "gauge", "sim.leaks")}
+        lines.append("Rx/Tx:")
+        lines.append("  rx offered=%d  dropped[freelist_empty]=%d  "
+                     "dropped[ring_full]=%d"
+                     % (rx_offered[0]["value"],
+                        drops.get("freelist_empty", 0),
+                        drops.get("ring_full", 0)))
+        if tx_pkts:
+            lines.append("  tx packets=%d  bytes=%d"
+                         % (tx_pkts[0]["value"],
+                            tx_bytes[0]["value"] if tx_bytes else 0))
+        if leaks:
+            lines.append("  recycle leaks: "
+                         + "  ".join("%s.%s=%d" % (e, k, v)
+                                     for (e, k), v in sorted(leaks.items())))
+        lines.append("")
+
+    # -- anything else (loader layout, run summary gauges, ...) ------------------
+    known_prefixes = ("compile.", "opt.", "sim.ring", "sim.me",
+                      "sim.mem.", "sim.rx.", "sim.tx.", "sim.leaks")
+    other = [r for r in recs
+             if not r["name"].startswith(known_prefixes)
+             and r["type"] in ("counter", "gauge", "timer")]
+    if other:
+        lines.append("Other:")
+        rows = []
+        for r in sorted(other, key=lambda r: r["name"]):
+            labels = {k: v for k, v in (r.get("labels") or {}).items()
+                      if k in STRUCTURAL_LABELS}
+            name = r["name"]
+            if labels:
+                name += "{%s}" % ",".join(
+                    "%s=%s" % kv for kv in sorted(labels.items()))
+            if r["type"] == "timer":
+                val = "%.1f ms / %d calls" % (r["total_s"] * 1e3, r["count"])
+            else:
+                val = "%g" % r["value"]
+            rows.append([name, val])
+        _table(lines, ["metric", "value"], rows)
+        lines.append("")
+
+
+def render(records: List[dict],
+           only: Optional[Dict[str, str]] = None) -> str:
+    scopes: "OrderedDict[Tuple, List[dict]]" = OrderedDict()
+    for rec in records:
+        if only:
+            labels = rec.get("labels") or {}
+            if any(str(labels.get(k)) != v for k, v in only.items()):
+                continue
+        scopes.setdefault(_scope_key(rec), []).append(rec)
+
+    lines: List[str] = []
+    for key in sorted(scopes):
+        header = " ".join("%s=%s" % kv for kv in key) or "(unlabelled)"
+        lines.append("=" * 72)
+        lines.append(header)
+        lines.append("=" * 72)
+        _render_scope(scopes[key], lines)
+    if not lines:
+        lines.append("(no matching records)")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Render a metrics JSONL dump as text.")
+    ap.add_argument("path", nargs="?",
+                    default=os.environ.get("REPRO_OBS_JSONL",
+                                           "benchmarks/results/metrics.jsonl"),
+                    help="metrics JSONL file (default: %(default)s)")
+    ap.add_argument("--only", action="append", default=[],
+                    metavar="KEY=VALUE",
+                    help="restrict to records whose label KEY equals VALUE "
+                         "(repeatable), e.g. --only app=l3switch")
+    args = ap.parse_args(argv)
+    only = {}
+    for item in args.only:
+        if "=" not in item:
+            ap.error("--only expects KEY=VALUE, got %r" % item)
+        k, _, v = item.partition("=")
+        only[k] = v
+    if not os.path.exists(args.path):
+        print("no metrics file at %s (run a benchmark with REPRO_OBS=1, "
+              "or pass metrics_jsonl= to run_on_simulator)" % args.path,
+              file=sys.stderr)
+        return 1
+    print(render(load_records(args.path), only or None))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,27 +3,40 @@ scalar portion plus the WOPT stage of the code generator)."""
 
 from __future__ import annotations
 
-from typing import List
-
 from repro.ir.cfg import simplify_cfg
 from repro.ir.module import IRFunction, IRModule
+from repro.obs import metrics as obs_metrics
 from repro.opt import constprop, copyprop, cse, dce, inline
 from repro.options import CompilerOptions
 
 _MAX_ITER = 12
 
+# The -O1 pass set, in the order it has always run. Named so the
+# observability layer can attribute "changed something" counts per pass.
+_SCALAR_PASSES = (
+    ("simplify_cfg", simplify_cfg),
+    ("constprop", constprop.run),
+    ("copyprop", copyprop.run),
+    ("cse", cse.run),
+    ("dce", dce.run),
+)
+
 
 def scalar_optimize_function(fn: IRFunction) -> None:
     """Run the -O1 scalar pass set on one function to fixpoint."""
+    reg = obs_metrics.get_registry()
+    iterations = 0
     for _ in range(_MAX_ITER):
+        iterations += 1
         changed = False
-        changed |= simplify_cfg(fn)
-        changed |= constprop.run(fn)
-        changed |= copyprop.run(fn)
-        changed |= cse.run(fn)
-        changed |= dce.run(fn)
+        for pass_name, pass_run in _SCALAR_PASSES:
+            if pass_run(fn):
+                changed = True
+                reg.counter("opt.scalar.changed", passname=pass_name).inc()
         if not changed:
             break
+    reg.counter("opt.scalar.fn_runs").inc()
+    reg.histogram("opt.scalar.iterations").observe(iterations)
 
 
 def run_scalar_pipeline(mod: IRModule, opts: CompilerOptions) -> None:

@@ -10,13 +10,16 @@ packet (Table 1's metric).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.ixp.chip import IXP2400
 from repro.ixp.counters import AccessProfile, Counters
 from repro.ixp.memory import ME_HZ
 from repro.ixp.rxtx import RxEngine, TxEngine
+from repro.obs import metrics as obs_metrics
+from repro.obs.sim import SimSampler, record_run_summary
 from repro.profiler.trace import Trace
 from repro.rts.loader import LoadLayout, load_system
 
@@ -33,6 +36,9 @@ class RunResult:
     tx_payloads: List[bytes] = field(default_factory=list)
     layout: Optional[LoadLayout] = None
     me_utilization: float = 0.0
+    # Rx drops by cause (their sum is rx_dropped).
+    rx_dropped_freelist: int = 0
+    rx_dropped_ring_full: int = 0
 
     def tx_signature(self) -> List[bytes]:
         return sorted(self.tx_payloads)
@@ -46,8 +52,19 @@ def run_on_simulator(
     measure_packets: int = 300,
     offered_gbps: float = 3.0,
     max_cycles: float = 40e6,
+    metrics_jsonl: Optional[str] = None,
 ) -> RunResult:
-    """Load and run a compiled program; measure steady-state behavior."""
+    """Load and run a compiled program; measure steady-state behavior.
+
+    ``max_cycles`` is an absolute cap on the simulation clock shared by
+    the warm-up and measurement phases (the run never simulates past
+    it). When the global observability registry is enabled
+    (``repro.obs.enable()`` or ``REPRO_OBS=1``), ring/ME time series and
+    an end-of-run summary are recorded, and the registry is dumped to
+    ``metrics_jsonl`` (or ``$REPRO_OBS_JSONL``) if set; measured numbers
+    are identical either way.
+    """
+    reg = obs_metrics.get_registry()
     total_mes = n_mes if n_mes is not None else result.opts.num_mes
     chip = IXP2400(n_programmable_mes=total_mes)
     layout = load_system(result, chip, n_mes=total_mes)
@@ -55,19 +72,22 @@ def run_on_simulator(
     rx = RxEngine(chip, trace, offered_gbps=offered_gbps)
     tx = TxEngine(chip, line_gbps=offered_gbps)
     chip.attach_traffic(rx, tx)
+    if reg.enabled:
+        chip.sampler = SimSampler(chip, reg)
 
     target = warmup_packets + measure_packets
-    # Phase 1: warm-up.
-    chip.run(max_cycles, stop=lambda: tx.packets_out() >= warmup_packets,
-             stop_check_interval=16)
-    t0 = chip.now
-    base_counts = chip.memory.counters.snapshot()
-    packets0 = tx.packets_out()
-    bytes0 = tx.bytes_out
+    with reg.timer("sim.wall").time():
+        # Phase 1: warm-up.
+        chip.run(max_cycles, stop=lambda: tx.packets_out() >= warmup_packets,
+                 stop_check_interval=16)
+        t0 = chip.now
+        base_counts = chip.memory.counters.snapshot()
+        packets0 = tx.packets_out()
+        bytes0 = tx.bytes_out
 
-    # Phase 2: measurement window.
-    chip.run(max_cycles, stop=lambda: tx.packets_out() >= target,
-             stop_check_interval=16)
+        # Phase 2: measurement window.
+        chip.run(max_cycles, stop=lambda: tx.packets_out() >= target,
+                 stop_check_interval=16)
     t1 = chip.now
     end_counts = chip.memory.counters.snapshot()
     packets1 = tx.packets_out()
@@ -82,7 +102,17 @@ def run_on_simulator(
     busy = sum(me.time - me.idle_time for me in chip.mes)
     total = sum(max(me.time, 1e-9) for me in chip.mes)
 
-    return RunResult(
+    # Buffer/metadata recycling must never hit a full free ring: the
+    # free rings are sized to hold the entire pool, so a failed put is
+    # a lost handle (an accounting bug, not back-pressure).
+    assert rx.leaked_meta == 0 and rx.leaked_buffers == 0, (
+        "Rx leaked handles recycling into full free rings: meta=%d buf=%d"
+        % (rx.leaked_meta, rx.leaked_buffers))
+    assert tx.leaked_meta == 0 and tx.leaked_buffers == 0, (
+        "Tx leaked handles recycling into full free rings: meta=%d buf=%d"
+        % (tx.leaked_meta, tx.leaked_buffers))
+
+    run = RunResult(
         forwarding_gbps=gbps,
         packets_measured=measured,
         packets_out=packets1,
@@ -93,7 +123,19 @@ def run_on_simulator(
         tx_payloads=[r.payload for r in tx.records],
         layout=layout,
         me_utilization=busy / total if total else 0.0,
+        rx_dropped_freelist=rx.dropped_freelist,
+        rx_dropped_ring_full=rx.dropped_ring_full,
     )
+
+    if reg.enabled:
+        record_run_summary(reg, chip, rx, tx)
+        reg.gauge("run.forwarding_gbps").set(round(gbps, 6))
+        reg.gauge("run.packets_measured").set(measured)
+        reg.gauge("run.me_utilization").set(round(run.me_utilization, 6))
+        path = metrics_jsonl or os.environ.get("REPRO_OBS_JSONL")
+        if path:
+            reg.dump_jsonl(path)
+    return run
 
 
 def verify_against_reference(result, trace: Trace, packets: int = 60,
@@ -114,9 +156,12 @@ def verify_against_reference(result, trace: Trace, packets: int = 60,
     tx = TxEngine(chip)
     chip.attach_traffic(rx, tx)
     expected = ref.profile.packets_out
-    chip.run(100e6, stop=lambda: tx.packets_out() >= expected)
-    # Let stragglers (XScale round trips) drain.
-    chip.run(chip.now + 300_000)
+    # Both limits are relative budgets from a fresh chip: a generous cap
+    # for the run itself, then a short fixed drain window for stragglers
+    # (XScale round trips). run_for makes the relative/absolute
+    # distinction explicit -- chip.run() takes an absolute deadline.
+    chip.run_for(100e6, stop=lambda: tx.packets_out() >= expected)
+    chip.run_for(300_000)
     got = sorted(r.payload for r in tx.records)
     want = ref.tx_signature()
     return got == want

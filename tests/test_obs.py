@@ -1,0 +1,324 @@
+"""Observability layer (repro.obs) and the Rx/ring accounting fixes:
+registry semantics, JSONL + report rendering, ring overflow/leak
+accounting, Rx trace exhaustion, run/run_for semantics, and the
+obs-on == obs-off bit-identical guarantee."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.compiler import compile_baker
+from repro.ixp.chip import IXP2400
+from repro.ixp.rings import Ring
+from repro.ixp.rxtx import RxEngine, TxEngine
+from repro.obs.metrics import NULL, MetricsRegistry, Series
+from repro.obs.report import load_records, render
+from repro.options import options_for
+from repro.profiler.trace import Trace, TracePacket, ipv4_trace
+from repro.rts.system import run_on_simulator
+
+MACS = [0x0A0000000001, 0x0A0000000002, 0x0A0000000003]
+
+
+@pytest.fixture
+def clean_obs():
+    """Leave the process-global registry exactly as we found it."""
+    reg = obs.get_registry()
+    was_enabled = reg.enabled
+    yield reg
+    reg.enabled = was_enabled
+    reg.clear()
+
+
+# -- registry -------------------------------------------------------------------
+
+
+def test_registry_metric_kinds():
+    reg = MetricsRegistry()
+    reg.counter("c").inc()
+    reg.counter("c").inc(4)
+    assert reg.counter("c").value == 5
+    reg.gauge("g").set(2.5)
+    assert reg.gauge("g").value == 2.5
+    with reg.timer("t").time():
+        pass
+    t = reg.timer("t")
+    assert t.count == 1 and t.total_s >= 0.0
+    h = reg.histogram("h")
+    for v in (1, 5, 3):
+        h.observe(v)
+    assert (h.count, h.min, h.max) == (3, 1, 5)
+    assert h.mean == pytest.approx(3.0)
+    s = reg.series("s")
+    s.sample(0.0, 1)
+    s.sample(10.0, 2)
+    assert s.summary()["n"] == 2 and s.summary()["last"] == 2
+
+
+def test_registry_labels_distinguish_and_scope():
+    reg = MetricsRegistry()
+    reg.counter("x", cause="a").inc()
+    reg.counter("x", cause="b").inc(2)
+    assert reg.counter("x", cause="a").value == 1
+    assert reg.counter("x", cause="b").value == 2
+    with reg.labels(app="l3switch"):
+        reg.counter("y").inc()
+        with reg.labels(level="SWC"):
+            reg.counter("y").inc()
+    names = {(m.name, tuple(sorted(m.labels.items()))) for m in reg.metrics()}
+    assert ("y", (("app", "l3switch"),)) in names
+    assert ("y", (("app", "l3switch"), ("level", "SWC"))) in names
+
+
+def test_disabled_registry_hands_out_null():
+    reg = MetricsRegistry(enabled=False)
+    c = reg.counter("c")
+    assert c is NULL
+    c.inc()
+    reg.gauge("g").set(1)
+    with reg.timer("t").time():
+        pass
+    reg.histogram("h").observe(1)
+    reg.series("s").sample(0, 1)
+    assert list(reg.metrics()) == []
+
+
+def test_series_memory_is_bounded():
+    s = Series("s", {}, max_samples=64)
+    for i in range(100_000):
+        s.sample(float(i), i)
+    assert len(s.samples) < 64
+    # Thinned but still spanning the whole run.
+    assert s.samples[-1][0] > 90_000
+
+
+def test_jsonl_dump_and_report_render(tmp_path):
+    reg = MetricsRegistry()
+    with reg.labels(app="l3switch", level="SWC"):
+        with reg.timer("compile.stage", stage="frontend").time():
+            pass
+        reg.gauge("compile.ir.instrs", stage="initial").set(120)
+        reg.gauge("compile.ir.instrs", stage="scalar").set(90)
+        reg.counter("opt.pac.wide_loads").inc(7)
+        reg.gauge("sim.ring.capacity", ring="ring.rx").set(128)
+        reg.gauge("sim.ring.drops", ring="ring.rx").set(3)
+        reg.gauge("sim.me.utilization", me=0).set(0.5)
+    path = reg.dump_jsonl(str(tmp_path / "m.jsonl"))
+    recs = load_records(path)
+    assert all(json.dumps(r) for r in recs)
+
+    text = render(recs)
+    assert "app=l3switch level=SWC" in text
+    assert "frontend" in text  # stage timings
+    assert "opt.pac.wide_loads" in text  # opt counters
+    assert "ring.rx" in text  # ring stats
+    assert "Microengines" in text  # per-ME utilization
+    # IR delta column.
+    assert "-30" in text
+    # Label filter selects / rejects.
+    assert "frontend" in render(recs, only={"app": "l3switch"})
+    assert render(recs, only={"app": "nope"}) == "(no matching records)"
+
+
+# -- ring accounting ------------------------------------------------------------
+
+
+def test_ring_overflow_and_watermark_accounting():
+    ring = Ring("r", capacity=2)
+    assert ring.put(1) and ring.put(2)
+    assert not ring.put(3)  # full: rejected and counted
+    assert (ring.puts, ring.drops, ring.max_depth) == (2, 1, 2)
+    assert ring.get() == 1
+    assert ring.get() == 2
+    assert ring.get() == 0  # empty: hardware returns 0
+    assert (ring.gets, ring.empty_gets) == (2, 1)
+    assert ring.max_depth == 2  # watermark survives draining
+
+
+# -- Rx/Tx engines --------------------------------------------------------------
+
+
+def _bare_chip(rx_capacity=4, pool=4):
+    chip = IXP2400(n_programmable_mes=1)
+    meta_free = chip.rings.create("ring.__meta_free", capacity=pool)
+    buf_free = chip.rings.create("ring.__buf_free", capacity=pool)
+    chip.rings.create("ring.rx", capacity=rx_capacity)
+    chip.rings.create("ring.tx", capacity=rx_capacity)
+    for i in range(pool):
+        meta_free.put(64 + 32 * i)
+        buf_free.put(2048 * (i + 1))
+    return chip
+
+
+def _trace(n, size=64):
+    return Trace([TracePacket(bytes([i % 251] * size), i % 3)
+                  for i in range(n)])
+
+
+def test_rx_exhaustion_repeat_false():
+    chip = _bare_chip(rx_capacity=8, pool=8)
+    rx = RxEngine(chip, _trace(3), offered_gbps=1.0, repeat=False)
+    delays = [rx.inject_next() for _ in range(5)]
+    assert [d is None for d in delays] == [False, False, False, True, True]
+    assert rx.sent == 3
+    assert len(chip.rings["ring.rx"]) == 3
+
+
+def test_rx_exhaustion_max_packets_caps_before_selection():
+    chip = _bare_chip(rx_capacity=8, pool=8)
+    rx = RxEngine(chip, _trace(3), offered_gbps=1.0, repeat=True,
+                  max_packets=5)
+    while rx.inject_next() is not None:
+        pass
+    assert rx.sent == 5  # wraps the 3-packet trace, stops at the budget
+
+    # max_packets tighter than the trace, repeat off: budget wins.
+    chip = _bare_chip(rx_capacity=8, pool=8)
+    rx = RxEngine(chip, _trace(3), offered_gbps=1.0, repeat=False,
+                  max_packets=2)
+    while rx.inject_next() is not None:
+        pass
+    assert rx.sent == 2
+
+
+def test_rx_empty_trace():
+    chip = _bare_chip()
+    rx = RxEngine(chip, Trace([]), offered_gbps=1.0)
+    assert rx.inject_next() is None
+    assert rx.sent == 0 and rx.dropped == 0
+
+
+def test_rx_drop_causes_counted_separately():
+    chip = _bare_chip(rx_capacity=2, pool=8)
+    rx = RxEngine(chip, _trace(2), offered_gbps=1.0, repeat=True)
+    free0 = (len(chip.rings["ring.__meta_free"]),
+             len(chip.rings["ring.__buf_free"]))
+    for _ in range(2):
+        rx.inject_next()
+    assert rx.dropped == 0
+    # rx ring now full -> ring_full drop, free handles recycled.
+    rx.inject_next()
+    assert (rx.dropped_freelist, rx.dropped_ring_full) == (0, 1)
+    assert (len(chip.rings["ring.__meta_free"]),
+            len(chip.rings["ring.__buf_free"])) == (free0[0] - 2, free0[1] - 2)
+
+    # Drain the free lists -> freelist_empty drop (rx ring still full).
+    while chip.rings["ring.__meta_free"].get():
+        pass
+    rx.inject_next()
+    assert (rx.dropped_freelist, rx.dropped_ring_full) == (1, 1)
+    assert rx.dropped == 2
+    assert rx.leaked_meta == 0 and rx.leaked_buffers == 0
+
+
+def test_rx_recycle_leak_is_detected():
+    """Regression: a failed put back onto a free ring must be counted,
+    not silently discarded (the pre-fix code ignored put()'s return)."""
+    chip = _bare_chip(rx_capacity=0, pool=4)  # every packet drops
+    rx = RxEngine(chip, _trace(1), offered_gbps=1.0)
+    # Sabotage the meta free ring so the recycle put is rejected.
+    chip.rings["ring.__meta_free"].capacity = 0
+    rx.inject_next()
+    assert rx.dropped_ring_full == 1
+    assert rx.leaked_meta == 1
+    assert rx.leaked_buffers == 0  # buffer recycle still fit
+
+
+def test_tx_recycle_leak_is_detected():
+    chip = _bare_chip(rx_capacity=4, pool=2)
+    meta = 64
+    buf = 2048
+    chip.memory.write_words("sram", meta, [buf, 0, 8, 0])
+    chip.memory.write_bytes("dram", buf, bytes(range(8)))
+    chip.rings["ring.tx"].put(meta)
+    # Free rings are already full (nothing was popped), so both recycle
+    # puts are rejected -> counted as leaks.
+    tx = TxEngine(chip)
+    tx.poll(0.0)
+    assert tx.packets_out() == 1
+    assert tx.records[0].payload == bytes(range(8))
+    assert (tx.leaked_buffers, tx.leaked_meta) == (1, 1)
+
+
+# -- chip.run semantics ---------------------------------------------------------
+
+
+def test_run_is_absolute_and_run_for_is_relative():
+    chip = IXP2400(n_programmable_mes=1)
+    ticks = []
+
+    def tick():
+        ticks.append(chip.now)
+        return chip.now + 100.0
+
+    chip.schedule(0.0, tick)
+    chip.run(1000.0)
+    assert chip.now == 1000.0
+    n1 = len(ticks)
+    # Absolute deadline already reached: a second run(1000) is a no-op.
+    chip.run(1000.0)
+    assert chip.now == 1000.0 and len(ticks) == n1
+    # Relative budget advances past it.
+    chip.run_for(500.0)
+    assert chip.now == 1500.0
+    assert len(ticks) == n1 + 5
+
+
+# -- end-to-end smoke -----------------------------------------------------------
+
+
+def _mini_result():
+    from tests.samples import MINI_FORWARDER
+
+    trace = ipv4_trace(60, [0xC0A80101], MACS, seed=3)
+    result = compile_baker(MINI_FORWARDER, options_for("O1"), trace)
+    return result, trace
+
+
+def test_obs_enabled_run_is_bit_identical(clean_obs, tmp_path):
+    """Attaching the sampler + recording metrics must not perturb the
+    simulation: every measured number matches the obs-off run exactly."""
+    reg = clean_obs
+    reg.enabled = False
+    result, trace = _mini_result()
+    kwargs = dict(n_mes=2, warmup_packets=30, measure_packets=90)
+
+    off = run_on_simulator(result, trace, **kwargs)
+
+    obs.enable()
+    path = str(tmp_path / "metrics.jsonl")
+    on = run_on_simulator(result, trace, metrics_jsonl=path, **kwargs)
+
+    assert on.forwarding_gbps == off.forwarding_gbps
+    assert on.packets_measured == off.packets_measured
+    assert on.packets_out == off.packets_out
+    assert on.rx_offered == off.rx_offered
+    assert on.rx_dropped == off.rx_dropped
+    assert on.sim_cycles == off.sim_cycles
+    assert on.me_utilization == off.me_utilization
+    assert on.access_profile.row() == off.access_profile.row()
+    assert on.rx_dropped_freelist + on.rx_dropped_ring_full == on.rx_dropped
+
+    # The JSONL landed and the report renders the headline sections.
+    text = render(load_records(path))
+    assert "ring.rx" in text
+    assert "Microengines" in text
+    assert "Rx/Tx:" in text
+
+
+def test_compile_telemetry_recorded(clean_obs):
+    reg = clean_obs
+    obs.enable()
+    reg.clear()
+    result, _ = _mini_result()
+    assert result.images  # compiled fine with obs on
+    recs = reg.records()
+    stages = {(r.get("labels") or {}).get("stage")
+              for r in recs if r["name"] == "compile.stage"}
+    assert {"frontend", "lower", "profile", "scalar", "aggregate",
+            "verify", "codegen"} <= stages
+    ir_instrs = [r for r in recs if r["name"] == "compile.ir.instrs"]
+    assert ir_instrs, "IR size gauges missing"
+    assert any(r["name"] == "opt.scalar.fn_runs" and r["value"] > 0
+               for r in recs)

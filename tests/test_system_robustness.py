@@ -156,7 +156,7 @@ def test_packet_create_and_drop_recycle_pool():
     tx = TxEngine(chip)
     chip.attach_traffic(rx, tx)
     chip.run(30_000_000, stop=lambda: rx.sent >= 200)
-    chip.run(chip.now + 1_000_000)  # drain
+    chip.run_for(1_000_000)  # drain
     free1 = len(chip.rings["ring.__buf_free"])
     # Everything in flight has drained; the pool is back to (near) full.
     assert free1 >= free0 - 4
