@@ -19,9 +19,10 @@ from benchmarks.figures_common import run_figure, assert_figure_shape
 APP = "mpls"
 
 
-def test_fig15_mpls_rates(compile_cache, report, benchmark):
-    series = benchmark.pedantic(lambda: run_figure(APP, compile_cache),
-                                rounds=1, iterations=1)
+def test_fig15_mpls_rates(compile_cache, report, benchmark, trace_sink):
+    series = benchmark.pedantic(
+        lambda: run_figure(APP, compile_cache, trace_sink),
+        rounds=1, iterations=1)
     # Our MPLS saturates its (dynamic-offset) memory accesses earlier
     # than the paper's, so the scaling requirement is relaxed here; the
     # gap is quantified in EXPERIMENTS.md.

@@ -25,6 +25,32 @@ TRACE_PACKETS = 200
 TRACE_SEED = 5
 
 
+def pytest_addoption(parser):
+    # Not "--trace": pytest owns that (its pdb-on-test-start hook).
+    parser.addoption(
+        "--packet-trace", action="store_true", default=False,
+        help="record a per-packet lifecycle trace for each benchmark's "
+             "fully-optimized 6-ME run and export it as Chrome "
+             "trace-event JSON (benchmarks/results/<name>.trace.json; "
+             "open in https://ui.perfetto.dev)")
+
+
+@pytest.fixture(scope="session")
+def trace_sink(request):
+    """name -> output path for a Perfetto trace, or None when
+    --packet-trace is off. Arms compile-stage span capture so
+    compilation shows up on the same timeline as the simulated run."""
+    if not request.config.getoption("--packet-trace"):
+        return lambda name: None
+    obs.capture_compile_spans()
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def sink(name: str):
+        return os.path.join(RESULTS_DIR, name + ".trace.json")
+
+    return sink
+
+
 @pytest.fixture(scope="session", autouse=True)
 def obs_registry():
     """Benchmarks always run with observability on; the whole session's

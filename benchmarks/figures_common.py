@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.options import LEVEL_ORDER
 from repro.rts.system import run_on_simulator
@@ -10,15 +10,26 @@ from repro.rts.system import run_on_simulator
 ME_COUNTS = [1, 2, 3, 4, 5, 6]
 
 
-def run_figure(app_name: str, compile_cache) -> Dict[str, List[float]]:
-    """level -> [rate at 1..6 MEs] (Gbps)."""
+def run_figure(app_name: str, compile_cache,
+               trace_sink: Optional[Callable] = None) -> Dict[str, List[float]]:
+    """level -> [rate at 1..6 MEs] (Gbps).
+
+    ``trace_sink(name)`` (the benchmark ``--packet-trace`` fixture) selects a
+    ``.trace.json`` output path; the fully-optimized run at the highest
+    ME count is the one traced.
+    """
     series: Dict[str, List[float]] = {}
     for level in LEVEL_ORDER:
         result, trace = compile_cache(app_name, level)
         rates = []
         for n_mes in ME_COUNTS:
+            trace_json = None
+            if (trace_sink is not None and level == LEVEL_ORDER[-1]
+                    and n_mes == ME_COUNTS[-1]):
+                trace_json = trace_sink(app_name)
             run = run_on_simulator(result, trace, n_mes=n_mes,
-                                   warmup_packets=60, measure_packets=220)
+                                   warmup_packets=60, measure_packets=220,
+                                   trace_json=trace_json)
             rates.append(round(run.forwarding_gbps, 3))
         series[level] = rates
     return series

@@ -29,6 +29,7 @@ from repro.ir.module import IRModule
 from repro.ir.verifier import verify_module
 from repro.obs import metrics as obs_metrics
 from repro.obs.telemetry import record_ir_stage, record_opt_results
+from repro.obs.trace import compile_stage
 from repro.opt import inline, pac, phr, soar, swc
 from repro.opt.pipeline import run_scalar_pipeline, scalar_optimize_function
 from repro.options import CompilerOptions, options_for
@@ -67,14 +68,20 @@ def compile_ir(
     reg = obs_metrics.get_registry()
     record_ir_stage(reg, "initial", mod)
 
-    with reg.timer("compile.stage", stage="profile").time():
-        profile = run_reference(mod, trace).profile
+    with compile_stage(reg, "profile"):
+        # Line attribution only when someone will read it (the obs
+        # report's hot-path table); it never alters other profile data.
+        profile = run_reference(mod, trace,
+                                attribute_lines=reg.enabled).profile
+    if reg.enabled:
+        for src, count in profile.hot_lines(32):
+            reg.counter("profile.line_instrs", src=src).inc(count)
 
-    with reg.timer("compile.stage", stage="scalar").time():
+    with compile_stage(reg, "scalar"):
         run_scalar_pipeline(mod, opts)
     record_ir_stage(reg, "scalar", mod)
 
-    with reg.timer("compile.stage", stage="aggregate").time():
+    with compile_stage(reg, "aggregate"):
         plan = form_aggregates(mod, profile, opts, target_gbps=target_gbps)
         apply_plan(mod, plan)
         if opts.inline:
@@ -90,15 +97,15 @@ def compile_ir(
                            plan=plan, opts=opts)
 
     if opts.pac:
-        with reg.timer("compile.stage", stage="pac").time():
+        with compile_stage(reg, "pac"):
             result.pac_result = pac.run(mod)
         record_ir_stage(reg, "pac", mod)
     if opts.soar or opts.phr:
-        with reg.timer("compile.stage", stage="soar").time():
+        with compile_stage(reg, "soar"):
             result.soar_result = soar.run(mod)
         record_ir_stage(reg, "soar", mod)
     if opts.phr:
-        with reg.timer("compile.stage", stage="phr").time():
+        with compile_stage(reg, "phr"):
             result.phr_result = phr.run(mod)
             if opts.scalar:
                 for fn in mod.functions.values():
@@ -122,7 +129,7 @@ def compile_ir(
 
     result.fast_functions = plan.fast_functions(mod)
     if opts.swc:
-        with reg.timer("compile.stage", stage="swc").time():
+        with compile_stage(reg, "swc"):
             swc_result = swc.select_candidates(mod, profile,
                                                result.fast_functions)
             swc.apply(mod, swc_result, result.fast_functions,
@@ -130,7 +137,7 @@ def compile_ir(
             result.swc_result = swc_result
         record_ir_stage(reg, "swc", mod)
 
-    with reg.timer("compile.stage", stage="verify").time():
+    with compile_stage(reg, "verify"):
         verify_module(mod)
     record_opt_results(reg, result)
     return result
@@ -184,14 +191,14 @@ def compile_baker(
     if trace is None:
         trace = Trace([])
     reg = obs_metrics.get_registry()
-    with reg.timer("compile.stage", stage="frontend").time():
+    with compile_stage(reg, "frontend"):
         checked = parse_and_check(source, filename)
-    with reg.timer("compile.stage", stage="lower").time():
+    with compile_stage(reg, "lower"):
         mod = lower_program(checked)
     result = compile_ir(mod, checked, opts, trace, target_gbps)
     if codegen:
         from repro.cg.assemble import generate_images
 
-        with reg.timer("compile.stage", stage="codegen").time():
+        with compile_stage(reg, "codegen"):
             generate_images(result)
     return result

@@ -39,6 +39,11 @@ class IXP2400:
         # dispatches (never scheduled on the heap, so attaching one does
         # not perturb event order or stop-condition cadence).
         self.sampler = None
+        # Optional repro.obs.trace.PacketTracer. Pure observation: every
+        # instrumentation site guards with ``tracer is not None`` and
+        # only appends to tracer-side lists, so attaching one cannot
+        # perturb simulated state or event order.
+        self.tracer = None
 
     # -- symbols / rings ---------------------------------------------------------
 

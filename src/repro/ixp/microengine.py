@@ -283,7 +283,11 @@ def _h_mem(me, t, insn) -> bool:
 def _h_ring_get(me, t, insn) -> bool:
     ring = me.chip.ring_by_symbol(insn.ring.name)
     done = me.chip.memory.timed_access(me.time, "scratch", 1, insn.category)
-    t.set(insn.dst, ring.get())
+    value = ring.get()
+    t.set(insn.dst, value)
+    tracer = me.chip.tracer
+    if tracer is not None:
+        tracer.me_ring_get(me.index, t.index, insn.ring.name, value, me.time)
     t.pc += 1
     t.wake = done
     return True
@@ -292,7 +296,12 @@ def _h_ring_get(me, t, insn) -> bool:
 def _h_ring_put(me, t, insn) -> bool:
     ring = me.chip.ring_by_symbol(insn.ring.name)
     done = me.chip.memory.timed_access(me.time, "scratch", 1, insn.category)
-    ring.put(me.value(t, insn.src))
+    value = me.value(t, insn.src)
+    ok = ring.put(value)
+    tracer = me.chip.tracer
+    if tracer is not None:
+        tracer.me_ring_put(me.index, t.index, insn.ring.name, value,
+                           me.time, ok)
     t.pc += 1
     t.wake = done
     return True

@@ -79,24 +79,31 @@ class RxEngine:
 
     def _deliver(self, tp) -> None:
         chip = self.chip
+        tracer = chip.tracer
         meta = chip.rings["ring.__meta_free"].get()
         buf = chip.rings["ring.__buf_free"].get()
         rx_ring = chip.rings["ring.rx"]
         if meta == 0 or buf == 0 or len(rx_ring) >= rx_ring.capacity:
             if meta == 0 or buf == 0:
                 self.dropped_freelist += 1
+                cause = "freelist_empty"
             else:
                 self.dropped_ring_full += 1
+                cause = "ring_full"
             if meta and not chip.rings["ring.__meta_free"].put(meta):
                 self.leaked_meta += 1
             if buf and not chip.rings["ring.__buf_free"].put(buf):
                 self.leaked_buffers += 1
+            if tracer is not None:
+                tracer.rx_drop(chip.now, cause)
             return
         chip.memory.write_bytes("dram", buf + HEADROOM_BYTES, tp.data)
         words = [buf, HEADROOM_BYTES, len(tp.data), tp.rx_port]
         words += [0] * (chip.meta_words - len(words))
         chip.memory.write_words("sram", meta, words)
         rx_ring.put(meta)
+        if tracer is not None:
+            tracer.rx_packet(meta, chip.now, tp.rx_port, len(tp.data))
 
 
 class TxEngine:
@@ -114,10 +121,13 @@ class TxEngine:
 
     def poll(self, now: float) -> None:
         ring = self.chip.rings["ring.tx"]
+        tracer = self.chip.tracer
         while len(ring) and self.busy_until <= now:
             meta = ring.get()
             buf, head, length, port = self.chip.memory.read_words("sram", meta, 4)
             payload = self.chip.memory.read_bytes("dram", buf + head, length)
+            if tracer is not None:
+                tracer.tx_packet(meta, now, port, length)
             self.records.append(TxRecord(now, payload, port))
             self.bytes_out += length
             tx_cycles = length * 8 / (self.line_gbps * GBPS) * ME_HZ

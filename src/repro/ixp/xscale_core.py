@@ -131,6 +131,8 @@ class SimPacket:
         chip.memory.write_words("sram", meta, words)
         data = chip.memory.read_bytes("dram", self.buf + self.head, self.length)
         chip.memory.write_bytes("dram", buf + self.head, data)
+        if chip.tracer is not None:
+            chip.tracer.alloc(meta, chip.now, "xscale_copy")
         return SimPacket(chip, meta)
 
     def payload(self) -> bytes:
@@ -179,9 +181,14 @@ class XScaleCore(Interpreter):
         ring = self.chip.rings.get("ring.%s" % channel)
         if ring is None:
             raise RuntimeError("XScale put to unknown channel %r" % channel)
-        ring.put(pkt.handle)
+        ok = ring.put(pkt.handle)
+        if self.chip.tracer is not None:
+            self.chip.tracer.xscale_put(ring.name, pkt.handle,
+                                        self.chip.now, ok)
 
     def _drop_packet(self, pkt) -> None:
+        if self.chip.tracer is not None:
+            self.chip.tracer.drop(pkt.handle, self.chip.now, "xscale_drop")
         self.chip.rings["ring.__buf_free"].put(pkt.buf)
         self.chip.rings["ring.__meta_free"].put(pkt.handle)
         pkt.dropped = True
@@ -195,6 +202,8 @@ class XScaleCore(Interpreter):
         words = [buf, HEADROOM_BYTES, size, 0] + [0] * (chip.meta_words - 4)
         chip.memory.write_words("sram", meta, words)
         chip.memory.write_bytes("dram", buf + HEADROOM_BYTES, bytes(size))
+        if chip.tracer is not None:
+            chip.tracer.alloc(meta, chip.now, "xscale_create")
         return SimPacket(chip, meta)
 
     # -- chip integration ---------------------------------------------------------------
@@ -214,6 +223,8 @@ class XScaleCore(Interpreter):
                 handle = ring.get()
                 if handle == 0:
                     break
+                if self.chip.tracer is not None:
+                    self.chip.tracer.xscale_get(ring.name, handle, now)
                 pkt = SimPacket(self.chip, handle)
                 self._deliver(consumer, pkt)
                 self.serviced += 1

@@ -32,7 +32,31 @@ from repro.obs.metrics import (
 from repro.obs.sim import SimSampler, record_run_summary
 from repro.obs.telemetry import ir_counts, record_ir_stage, record_opt_results
 
+# repro.obs.trace re-exports are lazy (PEP 562): an eager import here
+# would leave repro.obs.trace in sys.modules before runpy executes it,
+# making ``python -m repro.obs.trace export`` warn at startup.
+_TRACE_EXPORTS = frozenset([
+    "PacketTracer",
+    "capture_compile_spans",
+    "compile_stage",
+    "drain_compile_spans",
+    "record_trace_summary",
+])
+
+
+def __getattr__(name):
+    if name in _TRACE_EXPORTS:
+        from repro.obs import trace
+
+        return getattr(trace, name)
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))
+
 __all__ = [
+    "PacketTracer",
+    "capture_compile_spans",
+    "compile_stage",
+    "drain_compile_spans",
+    "record_trace_summary",
     "NULL",
     "Counter",
     "Gauge",

@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Tuple
 
 #: Labels that select a row *within* a section rather than a scope.
 STRUCTURAL_LABELS = {"stage", "ring", "me", "channel", "cause", "kind",
-                     "engine", "passname", "aggregate"}
+                     "engine", "passname", "aggregate", "stat", "src"}
 
 #: Render compiler stages in pipeline order, not alphabetically.
 STAGE_ORDER = ["frontend", "lower", "initial", "profile", "scalar",
@@ -52,11 +52,23 @@ def _slabel(rec: dict, key: str, default="") -> str:
     return str((rec.get("labels") or {}).get(key, default))
 
 
-def _stage_sort(stage: str) -> Tuple[int, str]:
-    try:
-        return (STAGE_ORDER.index(stage), stage)
-    except ValueError:
-        return (len(STAGE_ORDER), stage)
+def _stage_order(recs: List[dict]):
+    """Sort key for stage names: pipeline order for known stages, then
+    unknown stages in the order they first appear in the records (never
+    silently alphabetized into the middle of the pipeline)."""
+    first_seen: Dict[str, int] = {}
+    for r in recs:
+        stage = (r.get("labels") or {}).get("stage")
+        if stage is not None and stage not in STAGE_ORDER:
+            first_seen.setdefault(str(stage), len(first_seen))
+
+    def key(stage: str) -> Tuple[int, int, str]:
+        try:
+            return (0, STAGE_ORDER.index(stage), stage)
+        except ValueError:
+            return (1, first_seen.get(stage, len(first_seen)), stage)
+
+    return key
 
 
 def _table(lines: List[str], header: List[str], rows: List[List[str]],
@@ -80,13 +92,15 @@ def _gauge_by(recs: List[dict], name: str, label: str) -> Dict[str, float]:
 
 
 def _render_scope(recs: List[dict], lines: List[str]) -> None:
+    stage_key = _stage_order(recs)
+
     # -- compile stage timings ---------------------------------------------------
     timers = _pick(recs, "timer", "compile.stage")
     if timers:
         lines.append("Compile stages (wall time):")
         rows = []
         total = 0.0
-        for r in sorted(timers, key=lambda r: _stage_sort(_slabel(r, "stage"))):
+        for r in sorted(timers, key=lambda r: stage_key(_slabel(r, "stage"))):
             total += r["total_s"]
             rows.append([_slabel(r, "stage"), str(r["count"]),
                          "%.1f" % (r["total_s"] * 1e3)])
@@ -102,7 +116,7 @@ def _render_scope(recs: List[dict], lines: List[str]) -> None:
         lines.append("IR size after each stage:")
         rows = []
         prev = None
-        for stage in sorted(instrs, key=_stage_sort):
+        for stage in sorted(instrs, key=stage_key):
             n = instrs[stage]
             delta = "" if prev is None else "%+d" % (n - prev)
             prev = n
@@ -129,6 +143,21 @@ def _render_scope(recs: List[dict], lines: List[str]) -> None:
             lines.append("  scalar fixpoint: %d function runs, "
                          "%.1f iterations avg (max %g)"
                          % (h["count"], h["mean"], h["max"] or 0))
+        lines.append("")
+
+    # -- hot Baker source lines (functional-profiler attribution) ----------------
+    hot = _pick(recs, "counter", "profile.line_instrs")
+    if hot:
+        hot.sort(key=lambda r: (-r["value"], _slabel(r, "src")))
+        total_attr = sum(r["value"] for r in hot)
+        lines.append("Hot Baker source lines (interpreted IR instrs, top %d):"
+                     % min(10, len(hot)))
+        rows = []
+        for rank, r in enumerate(hot[:10], 1):
+            share = r["value"] / total_attr if total_attr else 0.0
+            rows.append(["%d" % rank, _slabel(r, "src"),
+                         "%d" % r["value"], "%.1f%%" % (share * 100)])
+        _table(lines, ["#", "source line", "instrs", "share"], rows)
         lines.append("")
 
     # -- ring statistics ---------------------------------------------------------
@@ -207,9 +236,34 @@ def _render_scope(recs: List[dict], lines: List[str]) -> None:
                                      for (e, k), v in sorted(leaks.items())))
         lines.append("")
 
+    # -- per-packet latency (PacketTracer summary) -------------------------------
+    lat = {_slabel(r, "stat"): r["value"]
+           for r in _pick(recs, "gauge", "sim.pkt.latency_cycles")}
+    if lat:
+        lines.append("Packet latency (Rx arrival -> Tx, ME cycles):")
+        lines.append("  n=%d  p50=%g  p95=%g  p99=%g  mean=%g  "
+                     "min=%g  max=%g"
+                     % (lat.get("count", 0), lat.get("p50", 0),
+                        lat.get("p95", 0), lat.get("p99", 0),
+                        lat.get("mean", 0), lat.get("min", 0),
+                        lat.get("max", 0)))
+        traced = _pick(recs, "gauge", "sim.pkt.traced")
+        untraced = _pick(recs, "gauge", "sim.pkt.untraced")
+        if traced:
+            lines.append("  traced packets=%d  untraced=%d"
+                         % (traced[0]["value"],
+                            untraced[0]["value"] if untraced else 0))
+        pkt_drops = {_slabel(r, "cause"): r["value"]
+                     for r in _pick(recs, "gauge", "sim.pkt.drops")}
+        if pkt_drops:
+            lines.append("  drops: " + "  ".join(
+                "%s=%d" % kv for kv in sorted(pkt_drops.items())))
+        lines.append("")
+
     # -- anything else (loader layout, run summary gauges, ...) ------------------
     known_prefixes = ("compile.", "opt.", "sim.ring", "sim.me",
-                      "sim.mem.", "sim.rx.", "sim.tx.", "sim.leaks")
+                      "sim.mem.", "sim.rx.", "sim.tx.", "sim.leaks",
+                      "sim.pkt.", "profile.line_instrs")
     other = [r for r in recs
              if not r["name"].startswith(known_prefixes)
              and r["type"] in ("counter", "gauge", "timer")]
@@ -274,11 +328,21 @@ def main(argv=None) -> int:
         k, _, v = item.partition("=")
         only[k] = v
     if not os.path.exists(args.path):
-        print("no metrics file at %s (run a benchmark with REPRO_OBS=1, "
-              "or pass metrics_jsonl= to run_on_simulator)" % args.path,
+        print("error: no metrics file at %s (run a benchmark with "
+              "REPRO_OBS=1, or pass metrics_jsonl= to run_on_simulator)"
+              % args.path, file=sys.stderr)
+        return 1
+    try:
+        records = load_records(args.path)
+    except (OSError, json.JSONDecodeError) as exc:
+        print("error: cannot read metrics from %s: %s" % (args.path, exc),
               file=sys.stderr)
         return 1
-    print(render(load_records(args.path), only or None))
+    if not records:
+        print("error: metrics file %s is empty (nothing was recorded -- "
+              "was the registry enabled?)" % args.path, file=sys.stderr)
+        return 1
+    print(render(records, only or None))
     return 0
 
 

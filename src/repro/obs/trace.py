@@ -1,0 +1,393 @@
+"""Per-packet lifecycle tracing for the simulated IXP2400.
+
+A :class:`PacketTracer` follows every packet *handle* (the SRAM metadata
+address) through its full lifecycle:
+
+    Rx arrival -> free-list allocation -> ring enqueue / dequeue
+    (queue-wait) -> per-ME dispatch -> PPF execution -> CC transfer ->
+    Tx (or drop, with cause)
+
+Each step is a timestamped raw event in **simulated ME cycles**. The
+tracer is pure observation: it is attached as ``chip.tracer`` and every
+instrumentation site in the simulator guards with ``if tracer is not
+None``, so a run with tracing off executes the exact same code paths as
+before the tracer existed, and a run with tracing *on* only appends to
+Python-side lists -- simulated state, event order and every measured
+number stay bit-identical (tested in ``tests/test_trace.py``).
+
+Raw events can be dumped as JSONL (:meth:`PacketTracer.dump_events_jsonl`)
+and converted to Chrome trace-event JSON for Perfetto / chrome://tracing
+by :mod:`repro.obs.export`, either programmatically or via::
+
+    python -m repro.obs.trace export <events.jsonl> [-o out.trace.json]
+
+Compile-pipeline stages can be recorded onto the same trace file:
+:func:`capture_compile_spans` arms a process-global span list that
+:func:`compile_stage` (used by ``repro.compiler``) appends to, and
+:func:`drain_compile_spans` hands the accumulated spans to the exporter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from collections import Counter
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: Ring-name prefix of the buffer/metadata free lists.
+FREE_PREFIX = "ring.__"
+
+
+class TraceEvent:
+    """One raw lifecycle event. ``t`` is simulated ME cycles; ``pkt`` is
+    the per-lifetime packet id (None for events before allocation, e.g.
+    an Rx drop with no free handle)."""
+
+    __slots__ = ("kind", "t", "pkt", "data")
+
+    def __init__(self, kind: str, t: float, pkt: Optional[int],
+                 data: Optional[Dict[str, object]] = None):
+        self.kind = kind
+        self.t = t
+        self.pkt = pkt
+        self.data = data
+
+    def to_dict(self) -> Dict[str, object]:
+        rec: Dict[str, object] = {"kind": self.kind, "t": self.t}
+        if self.pkt is not None:
+            rec["pkt"] = self.pkt
+        if self.data:
+            rec.update(self.data)
+        return rec
+
+
+class PacketTracer:
+    """Records packet lifecycle events; attach as ``chip.tracer``.
+
+    Handles are recycled by the free lists, so each *allocation* of a
+    handle gets a fresh monotonically increasing packet id; ``active``
+    maps the handle to the id of its current lifetime. ``max_packets``
+    bounds memory: once that many lifecycles have begun, new packets go
+    untraced (counted in ``truncated``) while already-traced packets
+    still complete, keeping every recorded begin/end pair balanced.
+    """
+
+    def __init__(self, max_packets: int = 100_000):
+        self.max_packets = max_packets
+        self.events: List[TraceEvent] = []
+        self.active: Dict[int, int] = {}       # handle -> packet id
+        self.born: Dict[int, float] = {}       # packet id -> first-seen cycles
+        self.latencies: List[float] = []       # Rx->Tx cycles, forwarded only
+        self.drops: Counter = Counter()        # cause -> count
+        self.next_id = 1
+        self.truncated = 0
+        self.finished_at: Optional[float] = None
+        # (me, thread) -> (handle, pkt id, start cycles): the packet the
+        # thread is currently processing (PPF execution span).
+        self._me_cur: Dict[Tuple[int, int], Tuple[int, int, float]] = {}
+
+    # -- low-level ---------------------------------------------------------------
+
+    def _emit(self, kind: str, t: float, pkt: Optional[int],
+              **data: object) -> None:
+        self.events.append(TraceEvent(kind, t, pkt, data or None))
+
+    def _begin(self, handle: int, t: float, origin: str) -> Optional[int]:
+        old = self.active.get(handle)
+        if old is not None:
+            # A handle re-allocated without a visible end: close the
+            # stale lifetime so pairs stay balanced.
+            self._end_handle(handle, t, "lost", None)
+        if len(self.born) >= self.max_packets:
+            self.truncated += 1
+            return None
+        pkt = self.next_id
+        self.next_id += 1
+        self.active[handle] = pkt
+        self.born[pkt] = t
+        self._emit("pkt_begin", t, pkt, origin=origin, handle=handle)
+        return pkt
+
+    def _end_handle(self, handle: int, t: float, outcome: str,
+                    cause: Optional[str]) -> None:
+        pkt = self.active.pop(handle, None)
+        if pkt is None:
+            return
+        data: Dict[str, object] = {"outcome": outcome}
+        if cause:
+            data["cause"] = cause
+        if outcome == "tx":
+            lat = t - self.born[pkt]
+            self.latencies.append(lat)
+            data["latency_cycles"] = lat
+        elif outcome == "drop":
+            self.drops[cause or "unknown"] += 1
+        self._emit("pkt_end", t, pkt, **data)
+
+    def _close_span(self, me: int, thread: int, t: float,
+                    disposition: str) -> None:
+        cur = self._me_cur.pop((me, thread), None)
+        if cur is None:
+            return
+        _, pkt, _ = cur
+        self._emit("span_end", t, pkt, me=me, thread=thread,
+                   disposition=disposition)
+
+    # -- Rx engine ---------------------------------------------------------------
+
+    def rx_packet(self, handle: int, t: float, port: int,
+                  length: int) -> None:
+        """Rx allocated a buffer+metadata pair and enqueued the handle
+        on the rx ring."""
+        pkt = self._begin(handle, t, "rx")
+        if pkt is not None:
+            self._emit("ring_enq", t, pkt, ring="ring.rx", port=port,
+                       length=length)
+
+    def rx_drop(self, t: float, cause: str) -> None:
+        """Rx dropped an offered packet before allocation completed."""
+        self.drops[cause] += 1
+        self._emit("rx_drop", t, None, cause=cause)
+
+    # -- microengines ------------------------------------------------------------
+
+    def me_ring_get(self, me: int, thread: int, ring: str, handle: int,
+                    t: float) -> None:
+        if handle == 0:
+            return  # empty poll
+        if ring == "ring.__meta_free":
+            # Application-side allocation (packet_create / packet copy).
+            self._begin(handle, t, "me_alloc")
+            return
+        if ring.startswith(FREE_PREFIX):
+            return  # buffer free list: not a packet identity
+        pkt = self.active.get(handle)
+        if self._me_cur.get((me, thread)) is not None:
+            # Threads process one packet at a time; a new dispatch
+            # before the previous hand-off means we missed the close.
+            self._close_span(me, thread, t, "preempted")
+        if pkt is None:
+            return  # untraced (over max_packets) or pre-attach packet
+        self._emit("ring_deq", t, pkt, ring=ring)
+        self._emit("span_begin", t, pkt, me=me, thread=thread, ring=ring)
+        self._me_cur[(me, thread)] = (handle, pkt, t)
+
+    def me_ring_put(self, me: int, thread: int, ring: str, value: int,
+                    t: float, ok: bool = True) -> None:
+        cur = self._me_cur.get((me, thread))
+        if ring == "ring.__buf_free":
+            return  # buffer recycle: tracked via the metadata handle
+        if ring == "ring.__meta_free":
+            if value in self.active:
+                if cur is not None and cur[0] == value:
+                    self._close_span(me, thread, t, "drop")
+                self._end_handle(value, t, "drop", "app_drop")
+            return
+        if ring.startswith(FREE_PREFIX):
+            return
+        pkt = self.active.get(value)
+        if pkt is None:
+            return
+        if cur is not None and cur[0] == value:
+            self._close_span(me, thread, t, "forward")
+        if ok:
+            self._emit("ring_enq", t, pkt, ring=ring)
+        else:
+            # The hardware ring rejected the put: the handle is gone.
+            self._end_handle(value, t, "drop", "cc_ring_full")
+
+    # -- Tx engine ---------------------------------------------------------------
+
+    def tx_packet(self, handle: int, t: float, port: int,
+                  length: int) -> None:
+        pkt = self.active.get(handle)
+        if pkt is None:
+            return
+        self._emit("ring_deq", t, pkt, ring="ring.tx")
+        self._end_handle(handle, t, "tx", None)
+
+    # -- XScale core -------------------------------------------------------------
+
+    def xscale_get(self, ring: str, handle: int, t: float) -> None:
+        pkt = self.active.get(handle)
+        if pkt is None:
+            return
+        self._emit("ring_deq", t, pkt, ring=ring)
+        self._emit("xscale", t, pkt, ring=ring)
+
+    def xscale_put(self, ring: str, handle: int, t: float,
+                   ok: bool = True) -> None:
+        pkt = self.active.get(handle)
+        if pkt is None:
+            return
+        if ok:
+            self._emit("ring_enq", t, pkt, ring=ring)
+        else:
+            self._end_handle(handle, t, "drop", "cc_ring_full")
+
+    def alloc(self, handle: int, t: float, origin: str) -> None:
+        """XScale-side allocation (packet_create / packet copy)."""
+        self._begin(handle, t, origin)
+
+    def drop(self, handle: int, t: float, cause: str) -> None:
+        self._end_handle(handle, t, "drop", cause)
+
+    # -- run end -----------------------------------------------------------------
+
+    def finish(self, t: float) -> None:
+        """Close every open span/lifecycle at the final simulated time
+        so exported begin/end pairs are balanced even for packets still
+        in flight when the run stopped."""
+        for (me, thread) in sorted(self._me_cur):
+            self._close_span(me, thread, t, "unfinished")
+        for handle in sorted(self.active):
+            self._end_handle(handle, t, "inflight", None)
+        self.finished_at = t
+
+    # -- summaries ---------------------------------------------------------------
+
+    def latency_summary(self) -> Dict[str, float]:
+        """Rx->Tx latency percentiles over forwarded packets, cycles."""
+        lats = sorted(self.latencies)
+        n = len(lats)
+        if n == 0:
+            return {"count": 0, "min": 0.0, "p50": 0.0, "p95": 0.0,
+                    "p99": 0.0, "mean": 0.0, "max": 0.0}
+        return {
+            "count": n,
+            "min": lats[0],
+            "p50": _percentile(lats, 0.50),
+            "p95": _percentile(lats, 0.95),
+            "p99": _percentile(lats, 0.99),
+            "mean": sum(lats) / n,
+            "max": lats[-1],
+        }
+
+    # -- export ------------------------------------------------------------------
+
+    def event_dicts(self) -> Iterator[Dict[str, object]]:
+        for ev in self.events:
+            yield ev.to_dict()
+
+    def dump_events_jsonl(self, path: str) -> str:
+        """Write raw events, one JSON object per line (convert with
+        ``python -m repro.obs.trace export <path>``)."""
+        d = os.path.dirname(os.path.abspath(path))
+        if d:
+            os.makedirs(d, exist_ok=True)
+        with open(path, "w") as fh:
+            meta = {"kind": "trace_meta", "t": 0.0,
+                    "packets": len(self.born),
+                    "truncated": self.truncated,
+                    "finished_at": self.finished_at}
+            fh.write(json.dumps(meta) + "\n")
+            for rec in self.event_dicts():
+                fh.write(json.dumps(rec) + "\n")
+        return path
+
+
+def _percentile(sorted_vals: List[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list."""
+    n = len(sorted_vals)
+    rank = max(1, min(n, int(-(-q * n // 1))))  # ceil(q*n), clamped
+    return sorted_vals[rank - 1]
+
+
+def record_trace_summary(reg, tracer: PacketTracer) -> None:
+    """Record per-packet latency percentiles + drop causes into a
+    metrics registry (rendered by ``repro.obs.report``)."""
+    summ = tracer.latency_summary()
+    for stat in ("count", "min", "p50", "p95", "p99", "mean", "max"):
+        reg.gauge("sim.pkt.latency_cycles", stat=stat).set(
+            round(summ[stat], 3))
+    reg.gauge("sim.pkt.traced").set(len(tracer.born))
+    reg.gauge("sim.pkt.untraced").set(tracer.truncated)
+    for cause, n in sorted(tracer.drops.items()):
+        reg.gauge("sim.pkt.drops", cause=cause).set(n)
+
+
+# -- compile-stage spans ---------------------------------------------------------
+
+#: When armed (a list), ``compile_stage`` appends (stage, labels, t0_s,
+#: t1_s) wall-clock spans here for the exporter's compiler track.
+_COMPILE_SPANS: Optional[List[Tuple[str, Dict[str, object], float, float]]] = None
+
+
+def capture_compile_spans(on: bool = True) -> None:
+    """Arm (or disarm) process-global capture of compile-stage spans."""
+    global _COMPILE_SPANS
+    _COMPILE_SPANS = [] if on else None
+
+
+def drain_compile_spans() -> List[Tuple[str, Dict[str, object], float, float]]:
+    """Return and clear the captured spans ([] when capture is off)."""
+    global _COMPILE_SPANS
+    if not _COMPILE_SPANS:
+        return []
+    spans, _COMPILE_SPANS = _COMPILE_SPANS, []
+    return spans
+
+
+@contextmanager
+def compile_stage(reg, stage: str):
+    """Time one compiler pipeline stage: always feeds the
+    ``compile.stage`` timer; additionally records a wall-clock span for
+    the trace exporter when :func:`capture_compile_spans` is armed."""
+    spans = _COMPILE_SPANS
+    t0 = time.perf_counter() if spans is not None else 0.0
+    with reg.timer("compile.stage", stage=stage).time():
+        yield
+    if spans is not None:
+        labels = dict(getattr(reg, "_label_stack", [{}])[-1])
+        spans.append((stage, labels, t0, time.perf_counter()))
+
+
+# -- CLI -------------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.obs.trace",
+        description="Convert raw packet-trace events to Chrome "
+                    "trace-event JSON (Perfetto / chrome://tracing).")
+    sub = ap.add_subparsers(dest="cmd", required=True)
+    exp = sub.add_parser("export", help="convert an events JSONL dump")
+    exp.add_argument("events", help="raw events JSONL written by "
+                                    "PacketTracer.dump_events_jsonl")
+    exp.add_argument("-o", "--out", default=None,
+                     help="output path (default: <events>.trace.json)")
+    args = ap.parse_args(argv)
+
+    from repro.obs.export import write_chrome_trace
+
+    if not os.path.exists(args.events):
+        print("no events file at %s" % args.events, file=sys.stderr)
+        return 1
+    events = []
+    with open(args.events) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    if not events:
+        print("events file %s is empty" % args.events, file=sys.stderr)
+        return 1
+    out = args.out
+    if out is None:
+        base = args.events
+        for suffix in (".events.jsonl", ".jsonl"):
+            if base.endswith(suffix):
+                base = base[: -len(suffix)]
+                break
+        out = base + ".trace.json"
+    write_chrome_trace(out, events)
+    print(out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

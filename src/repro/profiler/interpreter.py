@@ -101,11 +101,18 @@ class SystemResult:
 class Interpreter:
     """Interprets an IRModule; reusable across traces."""
 
-    def __init__(self, mod: IRModule, fuel: int = 50_000_000):
+    def __init__(self, mod: IRModule, fuel: int = 50_000_000,
+                 attribute_lines: bool = False):
         self.mod = mod
         self.globals = GlobalMemory(mod)
         self.profile = ProfileData()
         self.fuel = fuel
+        # When set, every interpreted instruction with a source location
+        # is charged to its (filename, line) in profile.line_instrs --
+        # the hot-path attribution behind the obs report's top-N table.
+        # Off by default: the extra dict update is wasted work for plain
+        # differential-oracle runs.
+        self._attr_lines = attribute_lines
         self._ppf_by_channel: Dict[str, str] = {}
         for fn in mod.ppfs():
             for chan in fn.input_channels:
@@ -216,6 +223,10 @@ class Interpreter:
     def _step(self, fn: IRFunction, instr: I.Instr, env: Dict[Temp, object],
               arrays: Dict[str, bytearray]) -> None:
         self._count_instr()
+        if self._attr_lines:
+            loc = instr.loc
+            if loc is not None:
+                self.profile.line_instrs[(loc.filename, loc.line)] += 1
         v = self._value
 
         if isinstance(instr, I.Assign):
@@ -420,8 +431,9 @@ class Interpreter:
         self.cam_lru.append(entry)
 
 
-def run_reference(mod: IRModule, trace: Trace) -> SystemResult:
+def run_reference(mod: IRModule, trace: Trace,
+                  attribute_lines: bool = False) -> SystemResult:
     """Convenience: init globals, run init blocks, feed the trace."""
-    interp = Interpreter(mod)
+    interp = Interpreter(mod, attribute_lines=attribute_lines)
     interp.run_inits()
     return interp.run_trace(trace)

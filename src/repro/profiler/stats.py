@@ -69,6 +69,11 @@ class ProfileData:
     global_stats: Dict[str, GlobalStats] = field(default_factory=dict)
     # Per-function total invocation counts (incl. support funcs).
     func_invocations: Counter = field(default_factory=Counter)
+    # Per-source-line interpreted IR instruction counts, keyed by
+    # (filename, 1-based line). Only populated when the interpreter runs
+    # with ``attribute_lines=True`` (the hot-path attribution the
+    # observability report renders as a top-N table).
+    line_instrs: Counter = field(default_factory=Counter)
 
     def gstat(self, name: str) -> GlobalStats:
         if name not in self.global_stats:
@@ -103,3 +108,9 @@ class ProfileData:
         if self.packets_in == 0:
             return 0.0
         return self.ppf_invocations.get(ppf, 0) / self.packets_in
+
+    def hot_lines(self, n: int = 10) -> "list[Tuple[str, int]]":
+        """Top-``n`` Baker source lines by interpreted IR instruction
+        count, as ("file:line", count) pairs (hottest first)."""
+        return [("%s:%d" % key, count)
+                for key, count in self.line_instrs.most_common(n)]

@@ -19,6 +19,7 @@ from repro.ixp.counters import AccessProfile, Counters
 from repro.ixp.memory import ME_HZ
 from repro.ixp.rxtx import RxEngine, TxEngine
 from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.obs.sim import SimSampler, record_run_summary
 from repro.profiler.trace import Trace
 from repro.rts.loader import LoadLayout, load_system
@@ -53,6 +54,9 @@ def run_on_simulator(
     offered_gbps: float = 3.0,
     max_cycles: float = 40e6,
     metrics_jsonl: Optional[str] = None,
+    tracer: Optional[obs_trace.PacketTracer] = None,
+    trace_json: Optional[str] = None,
+    trace_events_jsonl: Optional[str] = None,
 ) -> RunResult:
     """Load and run a compiled program; measure steady-state behavior.
 
@@ -63,8 +67,20 @@ def run_on_simulator(
     an end-of-run summary are recorded, and the registry is dumped to
     ``metrics_jsonl`` (or ``$REPRO_OBS_JSONL``) if set; measured numbers
     are identical either way.
+
+    Per-packet lifecycle tracing: pass a
+    :class:`repro.obs.trace.PacketTracer` (or just set ``trace_json`` /
+    ``trace_events_jsonl`` / ``$REPRO_TRACE_JSON`` and one is created)
+    to record every packet's Rx->Tx journey in simulated cycles.
+    ``trace_json`` writes Chrome trace-event JSON (open in Perfetto);
+    ``trace_events_jsonl`` writes the raw events (convert later with
+    ``python -m repro.obs.trace export``). Tracing is pure observation:
+    traced and untraced runs are bit-identical (tests/test_trace.py).
     """
     reg = obs_metrics.get_registry()
+    trace_json = trace_json or os.environ.get("REPRO_TRACE_JSON")
+    if tracer is None and (trace_json or trace_events_jsonl):
+        tracer = obs_trace.PacketTracer()
     total_mes = n_mes if n_mes is not None else result.opts.num_mes
     chip = IXP2400(n_programmable_mes=total_mes)
     layout = load_system(result, chip, n_mes=total_mes)
@@ -74,6 +90,8 @@ def run_on_simulator(
     chip.attach_traffic(rx, tx)
     if reg.enabled:
         chip.sampler = SimSampler(chip, reg)
+    if tracer is not None:
+        chip.tracer = tracer
 
     target = warmup_packets + measure_packets
     with reg.timer("sim.wall").time():
@@ -127,6 +145,11 @@ def run_on_simulator(
         rx_dropped_ring_full=rx.dropped_ring_full,
     )
 
+    if tracer is not None:
+        tracer.finish(chip.now)
+        if reg.enabled:
+            obs_trace.record_trace_summary(reg, tracer)
+
     if reg.enabled:
         record_run_summary(reg, chip, rx, tx)
         reg.gauge("run.forwarding_gbps").set(round(gbps, 6))
@@ -135,6 +158,15 @@ def run_on_simulator(
         path = metrics_jsonl or os.environ.get("REPRO_OBS_JSONL")
         if path:
             reg.dump_jsonl(path)
+
+    if tracer is not None:
+        if trace_events_jsonl:
+            tracer.dump_events_jsonl(trace_events_jsonl)
+        if trace_json:
+            from repro.obs.export import write_chrome_trace
+
+            write_chrome_trace(trace_json, tracer.event_dicts(),
+                               compile_spans=obs_trace.drain_compile_spans())
     return run
 
 

@@ -307,6 +307,36 @@ def test_obs_enabled_run_is_bit_identical(clean_obs, tmp_path):
     assert "Rx/Tx:" in text
 
 
+def test_report_main_exits_nonzero_on_bad_input(tmp_path, capsys):
+    from repro.obs.report import main as report_main
+
+    assert report_main([str(tmp_path / "missing.jsonl")]) == 1
+    assert "error:" in capsys.readouterr().err
+
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    assert report_main([str(empty)]) == 1
+    assert "error:" in capsys.readouterr().err
+
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("{not json\n")
+    assert report_main([str(bad)]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_report_unknown_stages_keep_first_seen_order():
+    """Stages outside the known pipeline order render after it, in the
+    order they first appear in the records -- never alphabetized into
+    the middle of the pipeline."""
+    recs = [{"type": "timer", "name": "compile.stage",
+             "labels": {"stage": stage}, "count": 1, "total_s": 0.001}
+            for stage in ("zeta_pass", "alpha_pass", "frontend", "codegen")]
+    text = render(recs)
+    order = [text.index(s) for s in
+             ("frontend", "codegen", "zeta_pass", "alpha_pass")]
+    assert order == sorted(order)
+
+
 def test_compile_telemetry_recorded(clean_obs):
     reg = clean_obs
     obs.enable()

@@ -1,0 +1,354 @@
+"""Per-packet lifecycle tracing (repro.obs.trace) and the Chrome
+trace-event exporter (repro.obs.export): tracer semantics, the
+tracing-off == tracing-on bit-identical guarantee, exporter output
+validity (JSON, monotonic timestamps, balanced begin/end), the CLI
+round-trip, compile-stage span capture, and the report's latency /
+hot-line sections."""
+
+import json
+from collections import Counter
+
+import pytest
+
+from repro import obs
+from repro.compiler import compile_baker
+from repro.obs.export import chrome_trace_from_events, write_chrome_trace
+from repro.obs.report import load_records, render
+from repro.obs.trace import (
+    PacketTracer,
+    _percentile,
+    capture_compile_spans,
+    compile_stage,
+    drain_compile_spans,
+    main as trace_main,
+    record_trace_summary,
+)
+from repro.options import options_for
+from repro.profiler.trace import ipv4_trace
+from repro.rts.system import run_on_simulator
+
+MACS = [0x0A0000000001, 0x0A0000000002, 0x0A0000000003]
+
+
+@pytest.fixture
+def clean_obs():
+    """Leave the process-global registry exactly as we found it."""
+    reg = obs.get_registry()
+    was_enabled = reg.enabled
+    yield reg
+    reg.enabled = was_enabled
+    reg.clear()
+
+
+@pytest.fixture
+def no_compile_spans():
+    """Leave compile-span capture disarmed afterwards."""
+    yield
+    capture_compile_spans(False)
+
+
+def _mini_result():
+    from tests.samples import MINI_FORWARDER
+
+    trace = ipv4_trace(60, [0xC0A80101], MACS, seed=3)
+    result = compile_baker(MINI_FORWARDER, options_for("O1"), trace)
+    return result, trace
+
+
+RUN_KW = dict(n_mes=2, warmup_packets=30, measure_packets=90)
+
+
+# -- tracer unit semantics ------------------------------------------------------
+
+
+def test_tracer_forward_path_and_latency():
+    tr = PacketTracer()
+    tr.rx_packet(64, 100.0, port=0, length=64)
+    tr.me_ring_get(0, 0, "ring.rx", 64, 150.0)
+    tr.me_ring_put(0, 0, "ring.chan", 64, 180.0)
+    tr.tx_packet(64, 400.0, port=1, length=64)
+    tr.finish(500.0)
+    assert tr.latencies == [300.0]
+    kinds = [e.kind for e in tr.events]
+    assert kinds == ["pkt_begin", "ring_enq", "ring_deq", "span_begin",
+                     "span_end", "ring_enq", "ring_deq", "pkt_end"]
+    assert not tr.active and not tr._me_cur
+
+
+def test_tracer_app_drop_and_recycled_handle():
+    tr = PacketTracer()
+    tr.rx_packet(64, 0.0, port=0, length=64)
+    tr.me_ring_get(0, 0, "ring.rx", 64, 10.0)
+    # The PPF drops: metadata handle goes back on the free list.
+    tr.me_ring_put(0, 0, "ring.__meta_free", 64, 20.0)
+    assert tr.drops == Counter({"app_drop": 1})
+    # The same handle comes around again as a brand new packet.
+    tr.rx_packet(64, 30.0, port=1, length=64)
+    assert tr.active[64] == 2  # fresh per-lifetime id
+    tr.tx_packet(64, 90.0, port=1, length=64)
+    tr.finish(100.0)
+    assert tr.latencies == [60.0]
+    # Free-list traffic is never a packet event.
+    assert all((e.data or {}).get("ring") != "ring.__meta_free"
+               for e in tr.events)
+
+
+def test_tracer_free_list_gets_and_failed_cc_put():
+    tr = PacketTracer()
+    # Buffer free-list activity is invisible.
+    tr.me_ring_get(0, 0, "ring.__buf_free", 2048, 0.0)
+    tr.me_ring_put(0, 0, "ring.__buf_free", 2048, 1.0)
+    assert tr.events == []
+    # Allocation from the metadata free list starts a lifetime.
+    tr.me_ring_get(0, 0, "ring.__meta_free", 96, 2.0)
+    assert tr.active[96] == 1
+    # A rejected channel put loses the handle: drop with cause.
+    tr.me_ring_put(0, 1, "ring.chan", 96, 5.0, ok=False)
+    assert tr.drops == Counter({"cc_ring_full": 1})
+    assert not tr.active
+
+
+def test_tracer_max_packets_truncates_but_stays_balanced():
+    tr = PacketTracer(max_packets=2)
+    for i, h in enumerate((64, 96, 128)):
+        tr.rx_packet(h, float(i), port=0, length=64)
+    assert len(tr.born) == 2 and tr.truncated == 1
+    tr.tx_packet(64, 10.0, port=0, length=64)
+    tr.tx_packet(128, 11.0, port=0, length=64)  # untraced: ignored
+    tr.finish(20.0)
+    begins = sum(e.kind == "pkt_begin" for e in tr.events)
+    ends = sum(e.kind == "pkt_end" for e in tr.events)
+    assert begins == ends == 2
+
+
+def test_tracer_finish_closes_open_lifecycles():
+    tr = PacketTracer()
+    tr.rx_packet(64, 0.0, port=0, length=64)
+    tr.me_ring_get(0, 3, "ring.rx", 64, 5.0)
+    tr.finish(50.0)
+    ends = [e for e in tr.events if e.kind == "pkt_end"]
+    spans = [e for e in tr.events if e.kind == "span_end"]
+    assert len(ends) == 1 and ends[0].data["outcome"] == "inflight"
+    assert len(spans) == 1 and spans[0].data["disposition"] == "unfinished"
+
+
+def test_percentiles_nearest_rank():
+    vals = [float(v) for v in range(1, 101)]
+    assert _percentile(vals, 0.50) == 50.0
+    assert _percentile(vals, 0.95) == 95.0
+    assert _percentile(vals, 0.99) == 99.0
+    assert _percentile([7.0], 0.99) == 7.0
+    tr = PacketTracer()
+    assert tr.latency_summary()["count"] == 0
+    tr.latencies = [10.0, 20.0, 30.0, 40.0]
+    s = tr.latency_summary()
+    assert (s["count"], s["min"], s["max"]) == (4, 10.0, 40.0)
+    assert s["p50"] == 20.0 and s["mean"] == 25.0
+
+
+# -- zero-impact invariance -----------------------------------------------------
+
+
+def test_tracing_on_run_is_bit_identical(clean_obs, tmp_path):
+    """A traced run must match the untraced run exactly: same Tx
+    signature, cycle counts, rates, and (tracing-independent) metrics."""
+    reg = clean_obs
+    reg.enabled = False
+    result, trace = _mini_result()
+
+    off = run_on_simulator(result, trace, **RUN_KW)
+
+    obs.enable()
+    off_metrics = str(tmp_path / "off.jsonl")
+    off2 = run_on_simulator(result, trace, metrics_jsonl=off_metrics,
+                            **RUN_KW)
+    reg.clear()
+    on_metrics = str(tmp_path / "on.jsonl")
+    on = run_on_simulator(result, trace,
+                          trace_json=str(tmp_path / "run.trace.json"),
+                          trace_events_jsonl=str(tmp_path / "run.events.jsonl"),
+                          metrics_jsonl=on_metrics, **RUN_KW)
+
+    for res in (off2, on):
+        assert res.forwarding_gbps == off.forwarding_gbps
+        assert res.packets_measured == off.packets_measured
+        assert res.packets_out == off.packets_out
+        assert res.rx_offered == off.rx_offered
+        assert res.rx_dropped == off.rx_dropped
+        assert res.sim_cycles == off.sim_cycles
+        assert res.me_utilization == off.me_utilization
+        assert res.access_profile.row() == off.access_profile.row()
+        assert res.tx_signature() == off.tx_signature()
+
+    # Metrics: identical except the tracer's own sim.pkt.* summary and
+    # the wall-clock timer.
+    def stable(path):
+        return [r for r in load_records(path)
+                if not r["name"].startswith("sim.pkt.")
+                and r["name"] != "sim.wall"]
+
+    assert stable(on_metrics) == stable(off_metrics)
+    # ...and the traced run did record the latency summary.
+    assert any(r["name"] == "sim.pkt.latency_cycles"
+               for r in load_records(on_metrics))
+
+
+# -- exporter -------------------------------------------------------------------
+
+
+def _traced_run(tmp_path, clean_obs):
+    clean_obs.enabled = False
+    result, trace = _mini_result()
+    tr = PacketTracer()
+    json_path = str(tmp_path / "run.trace.json")
+    events_path = str(tmp_path / "run.events.jsonl")
+    run_on_simulator(result, trace, tracer=tr, trace_json=json_path,
+                     trace_events_jsonl=events_path, **RUN_KW)
+    return tr, json_path, events_path
+
+
+def _check_chrome_trace(doc):
+    evs = doc["traceEvents"]
+    assert evs, "empty trace"
+    ts = [e["ts"] for e in evs]
+    assert all(a <= b for a, b in zip(ts, ts[1:])), "non-monotonic ts"
+    # Balanced sync B/E per (pid, tid) and async b/e per id.
+    sync = Counter()
+    for e in evs:
+        if e["ph"] == "B":
+            sync[(e["pid"], e["tid"])] += 1
+        elif e["ph"] == "E":
+            sync[(e["pid"], e["tid"])] -= 1
+            assert sync[(e["pid"], e["tid"])] >= 0, "E before B"
+    assert not [k for k, v in sync.items() if v], "unbalanced B/E"
+    async_ = Counter()
+    for e in evs:
+        if e["ph"] == "b":
+            async_[(e["cat"], e["id"])] += 1
+        elif e["ph"] == "e":
+            async_[(e["cat"], e["id"])] -= 1
+    assert not [k for k, v in async_.items() if v], "unbalanced b/e"
+    return evs
+
+
+def _track_names(evs):
+    return {e["args"]["name"] for e in evs
+            if e["ph"] == "M" and e["name"] == "process_name"}
+
+
+def test_exporter_valid_monotonic_balanced(clean_obs, tmp_path):
+    tr, json_path, events_path = _traced_run(tmp_path, clean_obs)
+    assert tr.latencies, "no packets forwarded?"
+    with open(json_path) as fh:
+        doc = json.load(fh)  # json.tool-level validity
+    evs = _check_chrome_trace(doc)
+    # Every traced packet shows up as one async lifecycle pair.
+    pkt_pairs = sum(e["ph"] == "b" and e["cat"] == "pkt" for e in evs)
+    assert pkt_pairs == len(tr.born)
+    # One named track per ME plus the ring/packet processes.
+    names = _track_names(evs)
+    assert "packets" in names and "rings" in names
+    assert any(n.startswith("ME") for n in names)
+
+    # The raw events JSONL leads with a meta line and parses line-wise.
+    with open(events_path) as fh:
+        lines = [json.loads(line) for line in fh if line.strip()]
+    assert lines[0]["kind"] == "trace_meta"
+    assert lines[0]["packets"] == len(tr.born)
+    assert len(lines) == 1 + len(tr.events)
+
+
+def test_exporter_cli_round_trip(clean_obs, tmp_path, capsys):
+    _, _, events_path = _traced_run(tmp_path, clean_obs)
+    assert trace_main(["export", events_path]) == 0
+    out_path = events_path[: -len(".events.jsonl")] + ".trace.json"
+    assert capsys.readouterr().out.strip() == out_path
+    with open(out_path) as fh:
+        _check_chrome_trace(json.load(fh))
+
+
+def test_exporter_cli_missing_and_empty_input(tmp_path, capsys):
+    assert trace_main(["export", str(tmp_path / "nope.jsonl")]) == 1
+    assert "no events file" in capsys.readouterr().err
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    assert trace_main(["export", str(empty)]) == 1
+    assert "empty" in capsys.readouterr().err
+
+
+def test_exporter_closes_unbalanced_input():
+    # A begin with no end (e.g. a truncated events file) must still
+    # produce balanced output.
+    events = [
+        {"kind": "pkt_begin", "t": 0.0, "pkt": 1, "origin": "rx",
+         "handle": 64},
+        {"kind": "span_begin", "t": 5.0, "pkt": 1, "me": 0, "thread": 2,
+         "ring": "ring.rx"},
+        {"kind": "ring_enq", "t": 6.0, "pkt": 1, "ring": "ring.chan"},
+    ]
+    _check_chrome_trace(chrome_trace_from_events(events))
+
+
+def test_exporter_writes_compile_spans(tmp_path):
+    spans = [("frontend", {"app": "x"}, 10.0, 10.5),
+             ("codegen", {}, 10.5, 11.0)]
+    path = str(tmp_path / "c.trace.json")
+    write_chrome_trace(path, [], compile_spans=spans)
+    with open(path) as fh:
+        doc = json.load(fh)
+    evs = _check_chrome_trace(doc)
+    names = [e["name"] for e in evs if e["ph"] == "B"]
+    assert names == ["frontend", "codegen"]
+    # Wall-clock spans are rebased to start at 0.
+    assert min(e["ts"] for e in evs if e["ph"] == "B") == 0
+
+
+# -- compile-stage span capture -------------------------------------------------
+
+
+def test_compile_span_capture(clean_obs, no_compile_spans):
+    reg = clean_obs
+    obs.enable()
+    drain_compile_spans()
+    capture_compile_spans()
+    with compile_stage(reg, "frontend"):
+        pass
+    with reg.labels(app="l3switch"):
+        with compile_stage(reg, "lower"):
+            pass
+    spans = drain_compile_spans()
+    assert [(s[0], s[1]) for s in spans] == [
+        ("frontend", {}), ("lower", {"app": "l3switch"})]
+    assert all(t1 >= t0 for _, _, t0, t1 in spans)
+    assert drain_compile_spans() == []  # drained
+    # Disarmed: compile_stage still times, but records no spans.
+    capture_compile_spans(False)
+    with compile_stage(reg, "pac"):
+        pass
+    assert drain_compile_spans() == []
+    timers = {(r.get("labels") or {}).get("stage")
+              for r in reg.records() if r["name"] == "compile.stage"}
+    assert {"frontend", "lower", "pac"} <= timers
+
+
+# -- report sections ------------------------------------------------------------
+
+
+def test_report_renders_latency_and_hot_lines(clean_obs):
+    reg = clean_obs
+    obs.enable()
+    reg.clear()
+    tr = PacketTracer()
+    tr.latencies = [100.0, 200.0, 300.0, 400.0]
+    tr.born = {1: 0.0, 2: 0.0, 3: 0.0, 4: 0.0}
+    tr.drops["app_drop"] = 2
+    record_trace_summary(reg, tr)
+    reg.counter("profile.line_instrs", src="<baker>:45").inc(300)
+    reg.counter("profile.line_instrs", src="<baker>:35").inc(180)
+    text = render(reg.records())
+    assert "Packet latency" in text
+    assert "p50" in text and "p95" in text and "p99" in text
+    assert "app_drop" in text
+    assert "Hot Baker source lines" in text
+    # Hottest line first.
+    assert text.index("<baker>:45") < text.index("<baker>:35")
