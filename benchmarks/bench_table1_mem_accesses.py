@@ -13,6 +13,7 @@ Firewall unchanged.
 
 from __future__ import annotations
 
+from benchmarks.figures_common import write_bench_json
 from repro import obs
 from repro.rts.system import run_on_simulator
 
@@ -20,6 +21,9 @@ from repro.rts.system import run_on_simulator
 # (-O2 and SOAR do not change access counts and are omitted there).
 LEVELS = ["BASE", "O1", "PAC", "PHR", "SWC"]
 APPS = ["l3switch", "firewall", "mpls"]
+
+# Table 1 access counts ride along in the per-figure BENCH files.
+FIG_BY_APP = {"l3switch": "fig13", "firewall": "fig14", "mpls": "fig15"}
 
 HEADER = "%-9s %-5s | %8s %8s %8s | %8s %8s | %7s" % (
     "app", "level", "pktScr", "pktSRAM", "pktDRAM", "appScr", "appSRAM", "total")
@@ -51,6 +55,22 @@ def test_table1_memory_accesses(compile_cache, report, benchmark):
                 p.app_scratch, p.app_sram, p.total))
         lines.append("-" * len(HEADER))
     report("table1_mem_accesses", lines)
+
+    for app in APPS:
+        write_bench_json(FIG_BY_APP[app], {
+            "app": app,
+            "mem_accesses": {
+                level: {
+                    "pkt_scratch": round(rows[(app, level)].pkt_scratch, 3),
+                    "pkt_sram": round(rows[(app, level)].pkt_sram, 3),
+                    "pkt_dram": round(rows[(app, level)].pkt_dram, 3),
+                    "app_scratch": round(rows[(app, level)].app_scratch, 3),
+                    "app_sram": round(rows[(app, level)].app_sram, 3),
+                    "total": round(rows[(app, level)].total, 3),
+                }
+                for level in LEVELS
+            },
+        })
 
     for app in APPS:
         base = rows[(app, "BASE")]

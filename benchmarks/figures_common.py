@@ -2,12 +2,48 @@
 
 from __future__ import annotations
 
+import json
+import os
 from typing import Callable, Dict, List, Optional
 
 from repro.options import LEVEL_ORDER
 from repro.rts.system import run_on_simulator
 
 ME_COUNTS = [1, 2, 3, 4, 5, 6]
+
+#: BENCH_*.json files land at the repo root so the perf trajectory
+#: accumulates across PRs (ROADMAP's BENCH_* convention).
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def write_bench_json(figure: str, payload: Dict) -> str:
+    """Merge ``payload`` into ``BENCH_<figure>.json`` at the repo root.
+
+    Merge-on-write (top-level keys; dict values update key-wise) lets the
+    rate benchmarks and the Table 1 access-count benchmark both
+    contribute to one file regardless of test execution order. Output is
+    deterministic: stable key order, no timestamps. ``python -m
+    repro.obs.diff old new`` compares two of these files.
+    """
+    path = os.path.join(REPO_ROOT, "BENCH_%s.json" % figure)
+    data: Dict = {"kind": "bench", "figure": figure}
+    if os.path.exists(path):
+        try:
+            with open(path) as fh:
+                existing = json.load(fh)
+            if isinstance(existing, dict):
+                data.update(existing)
+        except (OSError, json.JSONDecodeError):
+            pass  # rewrite a corrupt file from scratch
+    for key, value in payload.items():
+        if isinstance(value, dict) and isinstance(data.get(key), dict):
+            data[key].update(value)
+        else:
+            data[key] = value
+    with open(path, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
 
 
 def run_figure(app_name: str, compile_cache,
@@ -45,6 +81,13 @@ def assert_figure_shape(app_name: str, series: Dict[str, List[float]],
         lines.append("%-5s  " % level
                      + "  ".join("%6.2f" % r for r in series[level]))
     report(report_name, lines)
+
+    # "fig13_l3switch" -> BENCH_fig13.json
+    write_bench_json(report_name.split("_")[0], {
+        "app": app_name,
+        "me_counts": list(ME_COUNTS),
+        "rates": {level: list(rates) for level, rates in series.items()},
+    })
 
     base, o1 = series["BASE"], series["O1"]
     pac, soar = series["PAC"], series["SOAR"]

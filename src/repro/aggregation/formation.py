@@ -34,6 +34,7 @@ from repro.aggregation.throughput import (
 from repro.cg.codesize import estimate_closure
 from repro.ir import instructions as I
 from repro.ir.module import IRModule
+from repro.obs import ledger as obs_ledger
 from repro.options import CompilerOptions
 from repro.profiler.stats import ProfileData
 
@@ -69,6 +70,9 @@ def form_aggregates(
     def hot(aggs: List[Aggregate]) -> List[Aggregate]:
         return [a for a in aggs if _rate(profile, a) >= INFREQUENT_RATE]
 
+    led = obs_ledger.get_ledger()
+    overflow_seen = set()  # dedup: the same pair re-overflows every round
+
     done = False
     guard = 0
     while not done and guard < 10 * len(aggregates) + 50:
@@ -85,6 +89,11 @@ def form_aggregates(
                 and _duplicate_improves(candidates, dom, opts, target, me_ips)
             ):
                 dom.duplicate_hint += 1
+                led.record("aggregation", dom.name, "duplicated",
+                           reason="dominates execution time and another "
+                                  "copy raises throughput",
+                           cost=dom.cost, next_cost=next_dom.cost,
+                           duplicate_hint=dom.duplicate_hint)
                 done = False
                 continue
 
@@ -97,7 +106,21 @@ def form_aggregates(
             merged_members = a.members() | b.members()
             size = estimate_closure(mod, sorted(merged_members), opts)
             if size > opts.me_code_store:
+                pair = (a.name, b.name)
+                if led.enabled and pair not in overflow_seen:
+                    overflow_seen.add(pair)
+                    led.record("aggregation", "%s+%s" % pair,
+                               "merge_rejected",
+                               reason="merged closure overflows the "
+                                      "ME code store",
+                               code_size=size,
+                               me_code_store=opts.me_code_store)
                 continue
+            led.record("aggregation", "%s+%s" % (a.name, b.name), "merged",
+                       reason="highest-cost connecting channel, merge "
+                              "does not hurt throughput",
+                       cc_cost=cc_weight, code_size=size,
+                       members=len(merged_members))
             a.ppfs = sorted(merged_members)
             a.duplicate_hint = max(a.duplicate_hint, b.duplicate_hint)
             aggregates.remove(b)
@@ -107,6 +130,10 @@ def form_aggregates(
 
         if done and len(hot(aggregates)) > opts.num_mes:
             target *= 0.9  # RELAX_CONSTRAINT
+            led.record("aggregation", "<plan>", "target_relaxed",
+                       reason="more hot aggregates than MEs",
+                       target_pps=target, hot_aggregates=len(hot(aggregates)),
+                       num_mes=opts.num_mes)
             done = False
 
     # MAP_TO_XSCALE: oversized or infrequently executed aggregates.
@@ -116,6 +143,12 @@ def form_aggregates(
         if agg.code_size > opts.me_code_store or _rate(profile, agg) < INFREQUENT_RATE:
             agg.target = "xscale"
             xscale.append(agg)
+            led.record("aggregation", agg.name, "mapped_xscale",
+                       reason="oversized for the ME code store"
+                              if agg.code_size > opts.me_code_store
+                              else "infrequently executed (control plane)",
+                       code_size=agg.code_size,
+                       rate=_rate(profile, agg), ppfs=len(agg.ppfs))
         else:
             agg.target = "me"
             me_aggs.append(agg)
@@ -125,6 +158,10 @@ def form_aggregates(
     assignment = assign_mes(costs, opts.num_mes, me_ips)
     for agg, count in zip(me_aggs, assignment):
         agg.me_count = count
+        led.record("aggregation", agg.name, "mapped_me",
+                   reason="hot aggregate, fits the code store",
+                   me_count=count, cost=agg.cost,
+                   code_size=agg.code_size, ppfs=len(agg.ppfs))
 
     plan = AggregationPlan(me_aggregates=me_aggs, xscale_aggregates=xscale)
     plan.throughput_pps = system_throughput(costs, opts.num_mes, me_ips)

@@ -13,7 +13,8 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.cg.isa import Bal, Br, Insn, LIRFunction, Rtn
 from repro.cg.lower import CodegenError, LowerContext, lower_function
-from repro.cg.melayout import CODE_STORE_WORDS
+from repro.cg.codesize import record_budget_fit
+from repro.cg.melayout import CODE_STORE_WORDS, record_stack_fit
 from repro.cg.regalloc import allocate_function
 from repro.cg.stack import StackLayoutResult, layout_frames, resolve_stack_accesses
 from repro.ir.callgraph import CallGraph
@@ -103,6 +104,9 @@ def build_image(result, agg) -> MEImage:
             insn.resolved = target
     image.entry = image.label_index[dispatch.entry_label]
     image.code_size = sum(i.size for i in image.insns)
+    record_budget_fit(agg.name, image.code_size, CODE_STORE_WORDS,
+                      estimate=agg.code_size)
+    record_stack_fit(agg.name, layout)
     if image.code_size > CODE_STORE_WORDS:
         raise CodegenError(
             "aggregate %s needs %d control-store words (limit %d); "

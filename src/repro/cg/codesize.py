@@ -108,3 +108,20 @@ def estimate_closure(mod: IRModule, roots: Iterable[str],
     if uses_packet_prims and not opts.inline:
         total += 300  # shared generic packet-handling helper bodies
     return total
+
+
+def record_budget_fit(subject: str, code_size: int, budget: int,
+                      estimate: Optional[int] = None) -> None:
+    """Ledger hook: how an assembled image compares against the control
+    store (and how good the pre-codegen estimate was)."""
+    from repro.obs import ledger as obs_ledger
+
+    led = obs_ledger.get_ledger()
+    if not led.enabled:
+        return
+    led.record(
+        "codesize", subject,
+        "fits" if code_size <= budget else "overflows",
+        reason="%d of %d control-store words used" % (code_size, budget),
+        code_size=code_size, budget=budget, estimate=estimate,
+        headroom=budget - code_size)

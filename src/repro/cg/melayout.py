@@ -28,3 +28,21 @@ CODE_STORE_WORDS = 4096
 
 def thread_lm_base(thread: int) -> int:
     return thread * STACK_WORDS_PER_THREAD
+
+
+def record_stack_fit(subject: str, layout) -> None:
+    """Ledger hook: did the aggregate's stack frames fit Local Memory, or
+    did some overflow to (slow) SRAM?"""
+    from repro.obs import ledger as obs_ledger
+
+    led = obs_ledger.get_ledger()
+    if not led.enabled or layout is None:
+        return
+    led.record(
+        "melayout", subject,
+        "sram_overflow" if layout.any_sram_frames else "lm_only",
+        reason="stack frames overflow Local Memory into SRAM"
+               if layout.any_sram_frames
+               else "all stack frames fit Local Memory",
+        lm_words=layout.lm_words_used, sram_words=layout.sram_words_used,
+        lm_budget=STACK_WORDS_PER_THREAD)

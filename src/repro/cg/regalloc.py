@@ -22,6 +22,7 @@ from collections import defaultdict
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.cg import abi
+from repro.obs import ledger as obs_ledger
 from repro.cg.isa import (
     Alu, Bal, Br, Cmp, Imm, Insn, LIRBlock, LIRFunction, Mov, PReg, Reg,
     Rtn, StackRead, StackWrite, VReg, N_PER_BANK,
@@ -132,6 +133,11 @@ def home_call_live(fn: LIRFunction) -> None:
     for v in sorted(call_live, key=lambda r: r.id):
         slots[v] = fn.frame_slots
         fn.frame_slots += 1
+    obs_ledger.get_ledger().record(
+        "regalloc", fn.name, "call_live_homed",
+        reason="values live across a call get frame slots "
+               "(calls clobber all GPRs)",
+        slots=len(slots))
 
     for bb in fn.blocks:
         fresh: Dict[VReg, VReg] = {}  # currently valid in-register copies
@@ -290,8 +296,15 @@ def allocate_function(fn: LIRFunction, max_rounds: int = 8) -> None:
         candidates = [v for v in to_spill if v not in unspillable]
         if not candidates:
             candidates = to_spill[:1]
+        led = obs_ledger.get_ledger()
         for victim in candidates:
+            led.record("regalloc", fn.name, "spilled",
+                       reason="no color available for %s" % victim.hint,
+                       round=round_no, uncolorable=len(to_spill))
             unspillable.update(_spill(fn, victim))
+    obs_ledger.get_ledger().record(
+        "regalloc", fn.name, "failed",
+        reason="allocation did not converge", rounds=max_rounds)
     raise RegAllocError("register allocation did not converge for %s" % fn.name)
 
 

@@ -27,6 +27,7 @@ from repro.baker.lowering import lower_program
 from repro.baker.semantic import CheckedProgram
 from repro.ir.module import IRModule
 from repro.ir.verifier import verify_module
+from repro.obs import ledger as obs_ledger
 from repro.obs import metrics as obs_metrics
 from repro.obs.telemetry import record_ir_stage, record_opt_results
 from repro.obs.trace import compile_stage
@@ -54,6 +55,9 @@ class CompileResult:
     # Filled by the code generator (repro.cg.assemble):
     images: Dict[str, object] = field(default_factory=dict)  # aggregate -> MEImage
     fast_functions: Set[str] = field(default_factory=set)
+    # Decision-ledger slice for this compilation (empty unless the
+    # ledger is enabled; see repro.obs.ledger).
+    decisions: List[object] = field(default_factory=list)
 
 
 def compile_ir(
@@ -66,6 +70,8 @@ def compile_ir(
     """Run the mid-end (profile, optimize, aggregate, packet opts) over an
     already-lowered module."""
     reg = obs_metrics.get_registry()
+    led = obs_ledger.get_ledger()
+    led_mark = led.mark()
     record_ir_stage(reg, "initial", mod)
 
     with compile_stage(reg, "profile"):
@@ -140,6 +146,7 @@ def compile_ir(
     with compile_stage(reg, "verify"):
         verify_module(mod)
     record_opt_results(reg, result)
+    result.decisions = led.since(led_mark)
     return result
 
 
@@ -191,6 +198,8 @@ def compile_baker(
     if trace is None:
         trace = Trace([])
     reg = obs_metrics.get_registry()
+    led = obs_ledger.get_ledger()
+    led_mark = led.mark()
     with compile_stage(reg, "frontend"):
         checked = parse_and_check(source, filename)
     with compile_stage(reg, "lower"):
@@ -201,4 +210,7 @@ def compile_baker(
 
         with compile_stage(reg, "codegen"):
             generate_images(result)
+    # Re-slice from the outer mark: codegen decisions (spills, budget
+    # fits) land after compile_ir captured its slice.
+    result.decisions = led.since(led_mark)
     return result

@@ -32,9 +32,10 @@ from repro.obs.metrics import (
 from repro.obs.sim import SimSampler, record_run_summary
 from repro.obs.telemetry import ir_counts, record_ir_stage, record_opt_results
 
-# repro.obs.trace re-exports are lazy (PEP 562): an eager import here
-# would leave repro.obs.trace in sys.modules before runpy executes it,
-# making ``python -m repro.obs.trace export`` warn at startup.
+# repro.obs.trace / repro.obs.ledger re-exports are lazy (PEP 562): an
+# eager import here would leave the submodule in sys.modules before
+# runpy executes it, making ``python -m repro.obs.trace export`` (or
+# ``python -m repro.obs.ledger``) warn at startup.
 _TRACE_EXPORTS = frozenset([
     "PacketTracer",
     "capture_compile_spans",
@@ -43,12 +44,30 @@ _TRACE_EXPORTS = frozenset([
     "record_trace_summary",
 ])
 
+# The ledger has its own enable/disable pair, so those are re-exported
+# under qualified names (enable_ledger / disable_ledger / ledger_enabled).
+_LEDGER_EXPORTS = {
+    "Decision": "Decision",
+    "DecisionLedger": "DecisionLedger",
+    "compile_report": "compile_report",
+    "decision_counts": "decision_counts",
+    "disable_ledger": "disable",
+    "enable_ledger": "enable",
+    "get_ledger": "get_ledger",
+    "ledger_enabled": "is_enabled",
+    "write_compile_report": "write_compile_report",
+}
+
 
 def __getattr__(name):
     if name in _TRACE_EXPORTS:
         from repro.obs import trace
 
         return getattr(trace, name)
+    if name in _LEDGER_EXPORTS:
+        from repro.obs import ledger
+
+        return getattr(ledger, _LEDGER_EXPORTS[name])
     raise AttributeError("module %r has no attribute %r" % (__name__, name))
 
 __all__ = [
@@ -59,6 +78,15 @@ __all__ = [
     "record_trace_summary",
     "NULL",
     "Counter",
+    "Decision",
+    "DecisionLedger",
+    "compile_report",
+    "decision_counts",
+    "disable_ledger",
+    "enable_ledger",
+    "get_ledger",
+    "ledger_enabled",
+    "write_compile_report",
     "Gauge",
     "Histogram",
     "Metric",

@@ -1,0 +1,258 @@
+"""Compare two compile reports or two benchmark runs; gate regressions.
+
+Usage::
+
+    python -m repro.obs.diff old_compile_report.json new_compile_report.json
+    python -m repro.obs.diff old_BENCH_fig13.json new_BENCH_fig13.json \
+        [--tolerance 0.05]
+
+The file kind is auto-detected from the ``kind`` field written by
+:mod:`repro.obs.ledger` (``compile_report``) and
+``benchmarks/figures_common.py`` (``bench``).
+
+* **compile report vs compile report** -- prints decision-count deltas
+  per pass/verdict plus summary deltas (IR size, image code size,
+  estimated throughput, per-pass optimization wins). Exits 0 unless
+  ``--gate`` is given, in which case it exits 2 when the new report
+  *regresses*: an image's code size grows beyond ``--tolerance``, SOAR's
+  resolution rate drops, or a previously nonzero optimization win
+  (PAC combines, SWC acceptances, PHR elisions) falls to zero.
+* **bench vs bench** -- compares forwarding rates level by level and ME
+  count by ME count; exits 2 when any new rate drops more than
+  ``--tolerance`` (fractional) below the old rate. This is the CI
+  perf-regression gate.
+
+Two identical files always diff clean and exit 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Optional, Tuple
+
+#: Exit code for a gated regression (1 is reserved for usage/IO errors).
+EXIT_REGRESSION = 2
+
+
+def _load(path: str) -> dict:
+    if not os.path.exists(path):
+        raise SystemExit2("no such file: %s" % path)
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit2("cannot read %s: %s" % (path, exc))
+    if not isinstance(data, dict) or "kind" not in data:
+        raise SystemExit2(
+            "%s has no 'kind' field -- not a compile report or bench file"
+            % path)
+    return data
+
+
+class SystemExit2(Exception):
+    """IO/usage error carrying a message (exit code 1)."""
+
+
+# -- compile report vs compile report -------------------------------------------------
+
+
+def _count_table(report: dict) -> Dict[Tuple[str, str], int]:
+    out: Dict[Tuple[str, str], int] = {}
+    for pass_name, verdicts in (report.get("decision_counts") or {}).items():
+        for verdict, n in verdicts.items():
+            out[(pass_name, verdict)] = n
+    return out
+
+
+def _opt_wins(report: dict) -> Dict[str, float]:
+    """The per-pass 'how much did it optimize' scalars used for gating."""
+    opt = report.get("opt") or {}
+    wins: Dict[str, float] = {}
+    pac = opt.get("pac")
+    if pac:
+        wins["pac.combined_loads"] = pac.get("combined_loads", 0)
+        wins["pac.combined_stores"] = pac.get("combined_stores", 0)
+    soar = opt.get("soar")
+    if soar:
+        wins["soar.resolution_rate"] = soar.get("resolution_rate", 0.0)
+    phr = opt.get("phr")
+    if phr:
+        wins["phr.elided_encaps"] = phr.get("elided_encaps", 0)
+        wins["phr.localized_meta_fields"] = len(
+            phr.get("localized_meta_fields", []))
+    swc = opt.get("swc")
+    if swc:
+        wins["swc.cached"] = len(swc.get("cached", []))
+        wins["swc.rewritten_loads"] = swc.get("rewritten_loads", 0)
+    return wins
+
+
+def diff_compile(old: dict, new: dict, tolerance: float,
+                 gate: bool) -> Tuple[List[str], List[str]]:
+    """(report_lines, regression_lines). Regressions are only *fatal*
+    when gating, but they are always listed."""
+    lines: List[str] = []
+    regressions: List[str] = []
+
+    lines.append("compile report diff: %s -> %s" % (
+        old.get("level"), new.get("level")))
+
+    # Decision-count deltas.
+    oc, nc = _count_table(old), _count_table(new)
+    keys = sorted(set(oc) | set(nc))
+    changed = [(k, oc.get(k, 0), nc.get(k, 0)) for k in keys
+               if oc.get(k, 0) != nc.get(k, 0)]
+    if changed:
+        lines.append("decision deltas:")
+        for (pass_name, verdict), a, b in changed:
+            lines.append("  %-14s %-18s %4d -> %-4d (%+d)" % (
+                pass_name, verdict, a, b, b - a))
+    else:
+        lines.append("decision counts: identical "
+                     "(%d decisions)" % len(new.get("decisions") or []))
+
+    # Summary deltas.
+    o_ir, n_ir = old.get("ir") or {}, new.get("ir") or {}
+    if o_ir.get("instrs") != n_ir.get("instrs"):
+        lines.append("ir instrs: %s -> %s" % (o_ir.get("instrs"),
+                                              n_ir.get("instrs")))
+    o_plan, n_plan = old.get("plan") or {}, new.get("plan") or {}
+    o_tp = o_plan.get("throughput_pps", 0.0)
+    n_tp = n_plan.get("throughput_pps", 0.0)
+    if o_tp != n_tp:
+        lines.append("estimated throughput: %.0f -> %.0f pps (%+.1f%%)" % (
+            o_tp, n_tp, 100 * (n_tp - o_tp) / o_tp if o_tp else 0.0))
+
+    o_imgs, n_imgs = old.get("images") or {}, new.get("images") or {}
+    for name in sorted(set(o_imgs) | set(n_imgs)):
+        a = (o_imgs.get(name) or {}).get("code_size")
+        b = (n_imgs.get(name) or {}).get("code_size")
+        if a != b:
+            lines.append("image %s code size: %s -> %s words" % (name, a, b))
+        if a and b and b > a * (1 + tolerance):
+            regressions.append(
+                "image %s code size grew %.1f%% (%d -> %d words, "
+                "tolerance %.0f%%)" % (name, 100 * (b - a) / a, a, b,
+                                       100 * tolerance))
+
+    ow, nw = _opt_wins(old), _opt_wins(new)
+    for key in sorted(set(ow) | set(nw)):
+        a, b = ow.get(key), nw.get(key)
+        if a != b:
+            lines.append("%s: %s -> %s" % (key, a, b))
+        if a is None or b is None:
+            # A pass ran in only one of the two compiles (different
+            # levels): a delta, not a regression.
+            continue
+        if key == "soar.resolution_rate":
+            if b < a - 1e-9:
+                regressions.append(
+                    "SOAR resolution rate dropped %.3f -> %.3f" % (a, b))
+        elif a > 0 and b == 0:
+            regressions.append("%s fell to zero (was %g)" % (key, a))
+
+    return lines, regressions
+
+
+# -- bench vs bench -------------------------------------------------------------------
+
+
+def diff_bench(old: dict, new: dict,
+               tolerance: float) -> Tuple[List[str], List[str]]:
+    lines: List[str] = []
+    regressions: List[str] = []
+    lines.append("bench diff: %s (%s)" % (new.get("figure", "?"),
+                                          new.get("app", "?")))
+    me_counts = new.get("me_counts") or old.get("me_counts") or []
+    o_rates = old.get("rates") or {}
+    n_rates = new.get("rates") or {}
+    for level in sorted(set(o_rates) | set(n_rates)):
+        a_row = o_rates.get(level)
+        b_row = n_rates.get(level)
+        if a_row is None or b_row is None:
+            lines.append("  %s: only in %s file" % (
+                level, "new" if a_row is None else "old"))
+            continue
+        if a_row == b_row:
+            continue
+        lines.append("  %s: %s -> %s" % (level, a_row, b_row))
+        for i, (a, b) in enumerate(zip(a_row, b_row)):
+            if a > 0 and b < a * (1 - tolerance):
+                mes = me_counts[i] if i < len(me_counts) else i + 1
+                regressions.append(
+                    "%s at %s MEs: rate dropped %.3f -> %.3f "
+                    "(-%.1f%%, tolerance %.0f%%)"
+                    % (level, mes, a, b, 100 * (a - b) / a,
+                       100 * tolerance))
+    if len(lines) == 1:
+        lines.append("  rates identical")
+
+    o_mem = old.get("mem_accesses") or {}
+    n_mem = new.get("mem_accesses") or {}
+    for level in sorted(set(o_mem) | set(n_mem)):
+        if o_mem.get(level) != n_mem.get(level):
+            lines.append("  mem_accesses[%s]: %s -> %s" % (
+                level, o_mem.get(level), n_mem.get(level)))
+    return lines, regressions
+
+
+# -- CLI ------------------------------------------------------------------------------
+
+
+def run_diff(old_path: str, new_path: str, tolerance: float = 0.05,
+             gate: Optional[bool] = None) -> Tuple[str, int]:
+    """(rendered_text, exit_code). ``gate=None`` means auto: bench diffs
+    always gate; compile diffs gate only when asked."""
+    old, new = _load(old_path), _load(new_path)
+    if old["kind"] != new["kind"]:
+        raise SystemExit2("cannot diff %s against %s" % (old["kind"],
+                                                         new["kind"]))
+    if old["kind"] == "compile_report":
+        lines, regressions = diff_compile(old, new, tolerance,
+                                          gate=bool(gate))
+        fatal = bool(gate) and bool(regressions)
+    elif old["kind"] == "bench":
+        lines, regressions = diff_bench(old, new, tolerance)
+        fatal = bool(regressions) if gate is None else bool(gate and
+                                                            regressions)
+    else:
+        raise SystemExit2("unsupported kind %r" % old["kind"])
+    if regressions:
+        lines.append("REGRESSIONS:")
+        lines.extend("  " + r for r in regressions)
+    else:
+        lines.append("no regressions beyond tolerance")
+    return "\n".join(lines), (EXIT_REGRESSION if fatal else 0)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.obs.diff",
+        description="Diff two compile reports or two BENCH_*.json runs; "
+                    "exit %d on regressions beyond tolerance."
+                    % EXIT_REGRESSION)
+    ap.add_argument("old", help="baseline file")
+    ap.add_argument("new", help="candidate file")
+    ap.add_argument("--tolerance", type=float, default=0.05,
+                    help="allowed fractional drop before a rate/code-size "
+                         "change counts as a regression (default: "
+                         "%(default)s)")
+    ap.add_argument("--gate", action="store_true",
+                    help="for compile-report diffs: exit %d on regressions "
+                         "(bench diffs always gate)" % EXIT_REGRESSION)
+    args = ap.parse_args(argv)
+    try:
+        text, code = run_diff(args.old, args.new, args.tolerance,
+                              gate=True if args.gate else None)
+    except SystemExit2 as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+    print(text)
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,341 @@
+"""Compilation decision ledger: explainable optimization provenance.
+
+Every optimization site in the compiler emits a structured
+:class:`Decision` -- what pass looked at what subject, what it decided,
+why, and the numeric evidence behind the choice (PAC group sizes, SWC
+Equation-2 inputs, aggregation merge costs, register-allocator spills,
+control-store budget fits...). The ledger answers "*why* did the
+Figure 13 curve move" where the metrics registry only answers "*that*
+it moved".
+
+Like the metrics registry and the packet tracer, the ledger is **pure
+observation**: it is disabled by default, every hook is guarded on
+:attr:`DecisionLedger.enabled`, and recording never feeds back into
+compilation (ledger-on and ledger-off compiles are bit-identical --
+proven in ``tests/test_ledger.py``).
+
+Artifacts:
+
+* :func:`compile_report` / :func:`write_compile_report` render a
+  :class:`~repro.compiler.CompileResult` (which carries the decisions
+  made while compiling it) into a deterministic, diffable
+  ``compile_report.json``.
+* ``python -m repro.obs.ledger --app l3switch --level SWC -o
+  compile_report.json`` compiles an app with the ledger enabled and
+  writes the report (the CI ``obs-diff`` job uses this).
+* ``python -m repro.obs.report explain compile_report.json`` renders a
+  human-readable view; ``python -m repro.obs.diff A B`` compares two
+  reports (or two ``BENCH_*.json`` runs) and gates regressions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Environment switch mirroring ``REPRO_OBS`` for the metrics registry.
+_ENV_FLAG = "REPRO_OBS_LEDGER"
+
+#: Report schema version (bump when the JSON layout changes shape).
+REPORT_VERSION = 1
+
+
+def loc_str(loc) -> Optional[str]:
+    """Render a Baker :class:`~repro.baker.source.SourceLocation` as a
+    stable ``file:line`` string (column dropped: it adds diff noise
+    without adding provenance)."""
+    if loc is None:
+        return None
+    return "%s:%d" % (loc.filename, loc.line)
+
+
+def _norm(value):
+    """Normalize one evidence value for deterministic JSON output."""
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, float):
+        return round(value, 6)
+    return value
+
+
+@dataclass
+class Decision:
+    """One recorded optimization decision."""
+
+    seq: int
+    pass_name: str  # "pac", "soar", "swc", "aggregation", "regalloc", ...
+    subject: str  # what was decided about (global, function, site, ...)
+    verdict: str  # "accepted", "rejected", "merged", "spilled", ...
+    reason: str = ""
+    evidence: Dict[str, object] = field(default_factory=dict)
+    loc: Optional[str] = None  # "file:line" of the driving source
+
+    def to_record(self) -> Dict[str, object]:
+        rec: Dict[str, object] = {
+            "seq": self.seq,
+            "pass": self.pass_name,
+            "subject": self.subject,
+            "verdict": self.verdict,
+        }
+        if self.reason:
+            rec["reason"] = self.reason
+        if self.evidence:
+            rec["evidence"] = dict(self.evidence)
+        if self.loc is not None:
+            rec["loc"] = self.loc
+        return rec
+
+
+class DecisionLedger:
+    """Append-only store of :class:`Decision` records.
+
+    Disabled by default: :meth:`record` is a cheap early-return, and
+    instrumentation sites additionally guard any non-trivial evidence
+    computation on :attr:`enabled` so a disabled ledger costs nothing.
+    """
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self.decisions: List[Decision] = []
+
+    def record(self, pass_name: str, subject: str, verdict: str,
+               reason: str = "", loc: Optional[str] = None,
+               **evidence) -> None:
+        if not self.enabled:
+            return
+        ev = {k: _norm(v) for k, v in sorted(evidence.items())
+              if v is not None}
+        self.decisions.append(
+            Decision(len(self.decisions), pass_name, subject, verdict,
+                     reason, ev, loc)
+        )
+
+    # -- slicing (CompileResult captures "the decisions of this compile") --------
+
+    def mark(self) -> int:
+        return len(self.decisions)
+
+    def since(self, mark: int) -> List[Decision]:
+        return self.decisions[mark:]
+
+    # -- export ------------------------------------------------------------------
+
+    def records(self) -> List[Dict[str, object]]:
+        return [d.to_record() for d in self.decisions]
+
+    def clear(self) -> None:
+        self.decisions = []
+
+
+def decision_counts(decisions: List[Decision]) -> Dict[str, Dict[str, int]]:
+    """{pass: {verdict: count}} roll-up of a decision list."""
+    counts: Dict[str, Dict[str, int]] = {}
+    for d in decisions:
+        counts.setdefault(d.pass_name, {}).setdefault(d.verdict, 0)
+        counts[d.pass_name][d.verdict] += 1
+    return counts
+
+
+# -- process-global ledger -------------------------------------------------------
+
+
+_GLOBAL = DecisionLedger(enabled=bool(os.environ.get(_ENV_FLAG)))
+
+
+def get_ledger() -> DecisionLedger:
+    return _GLOBAL
+
+
+def enable() -> DecisionLedger:
+    _GLOBAL.enabled = True
+    return _GLOBAL
+
+
+def disable() -> DecisionLedger:
+    _GLOBAL.enabled = False
+    return _GLOBAL
+
+
+def is_enabled() -> bool:
+    return _GLOBAL.enabled
+
+
+# -- compile report --------------------------------------------------------------
+
+
+def _opt_section(result) -> Dict[str, object]:
+    out: Dict[str, object] = {}
+    pac = result.pac_result
+    out["pac"] = None if pac is None else {
+        "combined_loads": pac.combined_loads,
+        "combined_stores": pac.combined_stores,
+        "wide_loads": pac.wide_loads,
+        "wide_stores": pac.wide_stores,
+        "combined_global_loads": pac.combined_global_loads,
+        "wide_global_loads": pac.wide_global_loads,
+    }
+    soar = result.soar_result
+    out["soar"] = None if soar is None else {
+        "resolved_accesses": soar.resolved_accesses,
+        "total_accesses": soar.total_accesses,
+        "resolution_rate": round(soar.resolution_rate, 6),
+        "channel_values": {
+            name: list(value)
+            for name, value in sorted(soar.channel_values.items())
+        },
+    }
+    phr = result.phr_result
+    out["phr"] = None if phr is None else {
+        "localized_meta_fields": sorted(phr.localized_meta_fields),
+        "elided_encaps": phr.elided_encaps,
+        "syncs_inserted": phr.syncs_inserted,
+    }
+    swc = result.swc_result
+    out["swc"] = None if swc is None else {
+        "cached": [
+            {"name": c.name, "gid": c.gid, "line_bytes": c.line_bytes,
+             "line_words": c.line_words}
+            for c in swc.cached
+        ],
+        "rejected": dict(sorted(swc.rejected.items())),
+        "rewritten_loads": swc.rewritten_loads,
+        "instrumented_stores": swc.instrumented_stores,
+    }
+    return out
+
+
+def compile_report(result, app: Optional[str] = None) -> Dict[str, object]:
+    """Deterministic, diffable JSON-ready view of one compilation.
+
+    Works with the ledger disabled too (the ``decisions`` list is then
+    simply empty); nothing in here depends on wall-clock time, object
+    identity, or iteration order of unordered containers.
+    """
+    from dataclasses import asdict
+
+    from repro.obs.telemetry import ir_counts
+
+    n_fns, n_blocks, n_instrs = ir_counts(result.mod)
+    plan = result.plan
+    aggregates = []
+    for agg in sorted(plan.me_aggregates + plan.xscale_aggregates,
+                      key=lambda a: a.name):
+        aggregates.append({
+            "name": agg.name,
+            "target": agg.target,
+            "ppfs": sorted(agg.ppfs),
+            "me_count": agg.me_count,
+            "cost": round(agg.cost, 4),
+            "code_size_estimate": agg.code_size,
+        })
+    images = {}
+    for name, image in sorted(result.images.items()):
+        layout = image.stack_layout
+        images[name] = {
+            "code_size": image.code_size,
+            "n_insns": len(image.insns),
+            "functions": list(image.functions),
+            "lm_stack_words": layout.lm_words_used if layout else 0,
+            "sram_stack_words": layout.sram_words_used if layout else 0,
+        }
+    decisions = list(getattr(result, "decisions", []))
+    report: Dict[str, object] = {
+        "kind": "compile_report",
+        "version": REPORT_VERSION,
+        "level": result.opts.name,
+        "options": asdict(result.opts),
+        "ir": {"functions": n_fns, "blocks": n_blocks, "instrs": n_instrs},
+        "plan": {
+            "throughput_pps": round(plan.throughput_pps, 3),
+            "aggregates": aggregates,
+            "internal_channels": sorted(plan.internal_channels),
+        },
+        "fast_functions": sorted(result.fast_functions),
+        "opt": _opt_section(result),
+        "images": images,
+        # seq is re-based to the slice so a report is independent of any
+        # compilations that happened earlier in the same process.
+        "decisions": [dict(d.to_record(), seq=i)
+                      for i, d in enumerate(decisions)],
+        "decision_counts": decision_counts(decisions),
+    }
+    if app is not None:
+        report["app"] = app
+    return report
+
+
+def write_compile_report(result, path: str,
+                         app: Optional[str] = None) -> str:
+    """Write :func:`compile_report` as stable-keyed, indented JSON."""
+    report = compile_report(result, app=app)
+    d = os.path.dirname(os.path.abspath(path))
+    if d:
+        os.makedirs(d, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+# -- CLI: compile an app with the ledger on and write the report -----------------
+
+
+def main(argv=None) -> int:
+    import argparse
+    import sys
+
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.obs.ledger",
+        description="Compile a bundled app with the decision ledger "
+                    "enabled and write a diffable compile_report.json.")
+    ap.add_argument("--app", default="l3switch",
+                    help="bundled application (default: %(default)s)")
+    ap.add_argument("--level", default="SWC",
+                    help="cumulative optimization level "
+                         "(BASE/O1/O2/PAC/SOAR/PHR/SWC; default: %(default)s)")
+    ap.add_argument("-o", "--output", default="compile_report.json",
+                    help="output path (default: %(default)s)")
+    ap.add_argument("--packets", type=int, default=200,
+                    help="profiling trace length (default: %(default)s)")
+    ap.add_argument("--seed", type=int, default=5,
+                    help="profiling trace seed (default: %(default)s)")
+    args = ap.parse_args(argv)
+
+    from repro.apps import get_app
+    from repro.compiler import compile_baker
+    from repro.options import OPT_LEVELS, options_for
+
+    level = args.level.upper().lstrip("+-")
+    if level not in OPT_LEVELS:
+        print("error: unknown level %r (choose from %s)"
+              % (args.level, "/".join(OPT_LEVELS)), file=sys.stderr)
+        return 1
+    try:
+        app = get_app(args.app)
+    except KeyError:
+        print("error: unknown app %r" % args.app, file=sys.stderr)
+        return 1
+
+    # Under ``python -m`` this file runs as ``__main__``; go through the
+    # canonical module instance so the compiler's hooks see the same
+    # global ledger we enable here.
+    from repro.obs import ledger as canonical
+
+    led = canonical.enable()
+    mark = led.mark()
+    trace = app.make_trace(args.packets, seed=args.seed)
+    result = compile_baker(app.source, options_for(level), trace)
+    path = write_compile_report(result, args.output, app=args.app)
+    n = len(led.since(mark))
+    print("%s: %d decisions across %d passes -> %s"
+          % (args.app, n, len(decision_counts(result.decisions)), path))
+    print("explain: python -m repro.obs.report explain %s" % path)
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -3,6 +3,8 @@
 Usage::
 
     python -m repro.obs.report [metrics.jsonl] [--only key=value ...]
+    python -m repro.obs.report [metrics.jsonl] --json
+    python -m repro.obs.report explain compile_report.json
 
 The input is whatever :meth:`repro.obs.MetricsRegistry.dump_jsonl`
 wrote (benchmarks write ``benchmarks/results/metrics.jsonl``). Records
@@ -10,7 +12,11 @@ are grouped into *scopes* by their non-structural labels (e.g. the
 ``app``/``level`` a benchmark tagged), then rendered section by
 section: compile stage timings, IR size per stage, opt-pass counters,
 ring statistics, per-ME utilization, memory-channel load, Rx/Tx
-accounting.
+accounting. ``--json`` emits the same per-scope data machine-readably.
+
+The ``explain`` subcommand renders a ``compile_report.json`` written by
+:mod:`repro.obs.ledger`: the plan, per-pass optimization results, and
+every recorded optimization decision with its reason and evidence.
 """
 
 from __future__ import annotations
@@ -286,6 +292,108 @@ def _render_scope(recs: List[dict], lines: List[str]) -> None:
         lines.append("")
 
 
+def _scope_json(recs: List[dict]) -> dict:
+    """The same data the rendered tables show, as one JSON-ready dict."""
+    stage_key = _stage_order(recs)
+    out: dict = {}
+
+    timers = _pick(recs, "timer", "compile.stage")
+    if timers:
+        out["compile_stages"] = {
+            _slabel(r, "stage"): {"calls": r["count"],
+                                  "ms": round(r["total_s"] * 1e3, 3)}
+            for r in timers
+        }
+    instrs = _gauge_by(recs, "compile.ir.instrs", "stage")
+    if instrs:
+        fns = _gauge_by(recs, "compile.ir.functions", "stage")
+        blocks = _gauge_by(recs, "compile.ir.blocks", "stage")
+        out["ir"] = {
+            stage: {"functions": fns.get(stage, 0),
+                    "blocks": blocks.get(stage, 0),
+                    "instrs": instrs[stage]}
+            for stage in sorted(instrs, key=stage_key)
+        }
+    opt = [r for r in recs if r["name"].startswith("opt.")
+           and r["type"] in ("counter", "gauge")]
+    if opt:
+        counters = {}
+        for r in opt:
+            name = r["name"]
+            extra = _slabel(r, "passname")
+            if extra:
+                name += "{%s}" % extra
+            counters[name] = r["value"]
+        out["opt"] = counters
+    hot = _pick(recs, "counter", "profile.line_instrs")
+    if hot:
+        hot = sorted(hot, key=lambda r: (-r["value"], _slabel(r, "src")))
+        out["hot_lines"] = [
+            {"src": _slabel(r, "src"), "instrs": r["value"]} for r in hot
+        ]
+    caps = _gauge_by(recs, "sim.ring.capacity", "ring")
+    if caps:
+        fields = ["depth", "max_depth", "puts", "gets", "drops",
+                  "empty_gets"]
+        per = {f: _gauge_by(recs, "sim.ring.%s" % f, "ring") for f in fields}
+        out["rings"] = {
+            ring: dict({"capacity": caps[ring]},
+                       **{f: per[f].get(ring, 0) for f in fields})
+            for ring in sorted(caps)
+        }
+    util = _gauge_by(recs, "sim.me.utilization", "me")
+    if util:
+        instrs_g = _gauge_by(recs, "sim.me.executed_instrs", "me")
+        out["mes"] = {
+            me: {"utilization": util[me],
+                 "executed_instrs": instrs_g.get(me, 0)}
+            for me in sorted(util, key=lambda m: int(m))
+        }
+    busy = _gauge_by(recs, "sim.mem.busy_cycles", "channel")
+    if busy:
+        mutil = _gauge_by(recs, "sim.mem.utilization", "channel")
+        out["mem_channels"] = {
+            ch: {"busy_cycles": busy[ch], "utilization": mutil.get(ch)}
+            for ch in sorted(busy)
+        }
+    rx_offered = _pick(recs, "gauge", "sim.rx.offered")
+    if rx_offered:
+        drops = {_slabel(r, "cause"): r["value"]
+                 for r in _pick(recs, "gauge", "sim.rx.dropped")}
+        tx_pkts = _pick(recs, "gauge", "sim.tx.packets")
+        tx_bytes = _pick(recs, "gauge", "sim.tx.bytes")
+        out["rx_tx"] = {
+            "rx_offered": rx_offered[0]["value"],
+            "rx_dropped": drops,
+            "tx_packets": tx_pkts[0]["value"] if tx_pkts else 0,
+            "tx_bytes": tx_bytes[0]["value"] if tx_bytes else 0,
+        }
+    lat = {_slabel(r, "stat"): r["value"]
+           for r in _pick(recs, "gauge", "sim.pkt.latency_cycles")}
+    if lat:
+        out["latency_cycles"] = lat
+    return out
+
+
+def render_json(records: List[dict],
+                only: Optional[Dict[str, str]] = None) -> dict:
+    """Machine-readable counterpart of :func:`render`."""
+    scopes: "OrderedDict[Tuple, List[dict]]" = OrderedDict()
+    for rec in records:
+        if only:
+            labels = rec.get("labels") or {}
+            if any(str(labels.get(k)) != v for k, v in only.items()):
+                continue
+        scopes.setdefault(_scope_key(rec), []).append(rec)
+    return {
+        "kind": "metrics_report",
+        "scopes": [
+            {"labels": dict(key), "sections": _scope_json(scopes[key])}
+            for key in sorted(scopes)
+        ],
+    }
+
+
 def render(records: List[dict],
            only: Optional[Dict[str, str]] = None) -> str:
     scopes: "OrderedDict[Tuple, List[dict]]" = OrderedDict()
@@ -308,7 +416,144 @@ def render(records: List[dict],
     return "\n".join(lines)
 
 
+# -- explain: render a compile_report.json -------------------------------------------
+
+
+def _fmt_evidence(ev: dict) -> str:
+    return "  ".join("%s=%g" % (k, v) if isinstance(v, (int, float))
+                     else "%s=%s" % (k, v)
+                     for k, v in sorted(ev.items()))
+
+
+def render_explain(report: dict, pass_filter: Optional[str] = None) -> str:
+    lines: List[str] = []
+    head = "compile report"
+    if report.get("app"):
+        head += "  app=%s" % report["app"]
+    head += "  level=%s  (schema v%s)" % (report.get("level"),
+                                          report.get("version"))
+    lines.append(head)
+    ir = report.get("ir") or {}
+    plan = report.get("plan") or {}
+    lines.append("ir: %d functions, %d blocks, %d instrs" % (
+        ir.get("functions", 0), ir.get("blocks", 0), ir.get("instrs", 0)))
+    if plan:
+        lines.append("plan: %.0f pps estimated throughput" %
+                     plan.get("throughput_pps", 0.0))
+        rows = []
+        for agg in plan.get("aggregates", []):
+            rows.append([agg["name"], agg["target"],
+                         "%d" % agg.get("me_count", 0),
+                         "%.2f" % agg.get("cost", 0.0),
+                         "%d" % agg.get("code_size_estimate", 0),
+                         "%d" % len(agg.get("ppfs", []))])
+        _table(lines, ["aggregate", "target", "MEs", "cost",
+                       "est.size", "ppfs"], rows)
+    images = report.get("images") or {}
+    if images:
+        lines.append("images:")
+        rows = []
+        for name, img in sorted(images.items()):
+            rows.append([name, "%d" % img.get("code_size", 0),
+                         "%d" % img.get("n_insns", 0),
+                         "%d" % img.get("lm_stack_words", 0),
+                         "%d" % img.get("sram_stack_words", 0)])
+        _table(lines, ["image", "code_words", "insns", "lm_stack",
+                       "sram_stack"], rows)
+    opt = report.get("opt") or {}
+    summary_bits = []
+    if opt.get("pac"):
+        p = opt["pac"]
+        summary_bits.append("pac: %d loads->%d wide, %d stores->%d wide" % (
+            p["combined_loads"], p["wide_loads"],
+            p["combined_stores"], p["wide_stores"]))
+    if opt.get("soar"):
+        s = opt["soar"]
+        summary_bits.append("soar: %d/%d accesses resolved (%.0f%%)" % (
+            s["resolved_accesses"], s["total_accesses"],
+            100 * s["resolution_rate"]))
+    if opt.get("phr"):
+        ph = opt["phr"]
+        summary_bits.append("phr: %d encaps elided, %d meta localized, "
+                            "%d syncs" % (ph["elided_encaps"],
+                                          len(ph["localized_meta_fields"]),
+                                          ph["syncs_inserted"]))
+    if opt.get("swc"):
+        sw = opt["swc"]
+        summary_bits.append("swc: %d cached, %d rejected, %d loads "
+                            "rewritten" % (len(sw["cached"]),
+                                           len(sw["rejected"]),
+                                           sw["rewritten_loads"]))
+    for bit in summary_bits:
+        lines.append("  " + bit)
+    lines.append("")
+
+    decisions = report.get("decisions") or []
+    if pass_filter:
+        decisions = [d for d in decisions if d.get("pass") == pass_filter]
+    counts = report.get("decision_counts") or {}
+    lines.append("decisions: %d recorded across %d passes%s" % (
+        len(decisions), len(counts),
+        "  (filtered to pass=%s)" % pass_filter if pass_filter else ""))
+    by_pass: "OrderedDict[str, List[dict]]" = OrderedDict()
+    for d in decisions:
+        by_pass.setdefault(d.get("pass", "?"), []).append(d)
+    for pass_name, ds in by_pass.items():
+        lines.append("")
+        lines.append("[%s]" % pass_name)
+        for d in ds:
+            line = "  %-18s %s" % (d.get("verdict", "?"),
+                                   d.get("subject", "?"))
+            if d.get("loc"):
+                line += "  @%s" % d["loc"]
+            lines.append(line)
+            if d.get("reason"):
+                lines.append("      why: %s" % d["reason"])
+            if d.get("evidence"):
+                lines.append("      %s" % _fmt_evidence(d["evidence"]))
+    if not decisions:
+        lines.append("  (none -- was the report written with "
+                     "REPRO_OBS_LEDGER=1 or python -m repro.obs.ledger?)")
+    return "\n".join(lines)
+
+
+def explain_main(argv) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.obs.report explain",
+        description="Render a compile_report.json (see repro.obs.ledger) "
+                    "as a human-readable decision log.")
+    ap.add_argument("path", help="compile_report.json to explain")
+    ap.add_argument("--pass", dest="pass_filter", default=None,
+                    metavar="PASS",
+                    help="show only decisions of one pass (e.g. swc)")
+    args = ap.parse_args(argv)
+    if not os.path.exists(args.path):
+        print("error: no compile report at %s (write one with "
+              "python -m repro.obs.ledger -o %s)" % (args.path, args.path),
+              file=sys.stderr)
+        return 1
+    try:
+        with open(args.path) as fh:
+            report = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print("error: cannot read compile report from %s: %s"
+              % (args.path, exc), file=sys.stderr)
+        return 1
+    if not isinstance(report, dict) or report.get("kind") != "compile_report":
+        print("error: %s is not a compile report (kind=%r)"
+              % (args.path, report.get("kind")
+                 if isinstance(report, dict) else type(report).__name__),
+              file=sys.stderr)
+        return 1
+    print(render_explain(report, args.pass_filter))
+    return 0
+
+
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "explain":
+        return explain_main(argv[1:])
     ap = argparse.ArgumentParser(
         prog="python -m repro.obs.report",
         description="Render a metrics JSONL dump as text.")
@@ -320,6 +565,9 @@ def main(argv=None) -> int:
                     metavar="KEY=VALUE",
                     help="restrict to records whose label KEY equals VALUE "
                          "(repeatable), e.g. --only app=l3switch")
+    ap.add_argument("--json", action="store_true",
+                    help="emit the report as machine-readable JSON instead "
+                         "of rendered tables")
     args = ap.parse_args(argv)
     only = {}
     for item in args.only:
@@ -342,7 +590,11 @@ def main(argv=None) -> int:
         print("error: metrics file %s is empty (nothing was recorded -- "
               "was the registry enabled?)" % args.path, file=sys.stderr)
         return 1
-    print(render(records, only or None))
+    if args.json:
+        print(json.dumps(render_json(records, only or None),
+                         indent=2, sort_keys=True))
+    else:
+        print(render(records, only or None))
     return 0
 
 

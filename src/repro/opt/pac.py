@@ -31,6 +31,7 @@ from repro.ir.cfg import compute_cfg, reverse_postorder
 from repro.ir.dominators import DomTree, dominator_tree
 from repro.ir.module import BasicBlock, IRFunction, IRModule
 from repro.ir.values import Const, Operand, Temp
+from repro.obs import ledger as obs_ledger
 from repro.opt.aliases import AliasClasses, mutates_class
 
 # One DRAM instruction moves at most 64 B; the combining window is kept
@@ -290,6 +291,12 @@ def _rewrite_load_group(fn: IRFunction, group: List[_Access], span,
         replacements.setdefault(acc.bb, {})[acc.index] = seq
     result.wide_loads += 1
     result.combined_loads += len(group)
+    obs_ledger.get_ledger().record(
+        "pac", fn.name, "combined_loads",
+        reason="%d packet loads folded into one %d-word access"
+               % (len(group), nwords),
+        loc=obs_ledger.loc_str(leader.instr.loc),
+        members=len(group), nwords=nwords, start_byte=start_byte)
 
 
 def extract_into(fn: IRFunction, out: List[I.Instr], words: List[Temp],
@@ -517,6 +524,12 @@ def _rewrite_store_group(fn: IRFunction, bb: BasicBlock, group: List[_Access],
         replacements.setdefault(bb, {})[acc.index] = [] if acc is not last else seq
     result.wide_stores += 1
     result.combined_stores += len(group)
+    obs_ledger.get_ledger().record(
+        "pac", fn.name, "combined_stores",
+        reason="%d packet stores merged into one %d-word masked store"
+               % (len(group), nwords),
+        loc=obs_ledger.loc_str(last.instr.loc),
+        members=len(group), nwords=nwords, start_byte=start_byte)
 
 
 def _segment_part(fn: IRFunction, seq: List[I.Instr], seg_off: int,
@@ -657,6 +670,12 @@ def _combine_global_loads(fn: IRFunction, result: PacResult) -> None:
                     replacements[idx] = [I.Assign(load.dst, word)]
             result.wide_global_loads += 1
             result.combined_global_loads += len(group)
+            obs_ledger.get_ledger().record(
+                "pac", "%s/%s" % (fn.name, g), "combined_global_loads",
+                reason="%d loads of %s coalesced into one %d-word access"
+                       % (len(group), g, nwords),
+                loc=obs_ledger.loc_str(group[0][1].loc),
+                members=len(group), nwords=nwords)
         new_instrs = []
         for idx, instr in enumerate(bb.instrs):
             if idx in replacements:

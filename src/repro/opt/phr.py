@@ -30,6 +30,7 @@ from repro.ir import instructions as I
 from repro.ir.cfg import compute_cfg, reverse_postorder
 from repro.ir.module import BasicBlock, IRFunction, IRModule
 from repro.ir.values import Const, Temp
+from repro.obs import ledger as obs_ledger
 from repro.opt.aliases import AliasClasses
 
 
@@ -59,9 +60,13 @@ def _localize_metadata(mod: IRModule, result: PhrResult) -> None:
             if isinstance(instr, (I.MetaLoad, I.MetaStore)) and instr.word >= META_USER_BASE:
                 sites.setdefault(instr.field, []).append((fn, instr))
 
+    led = obs_ledger.get_ledger()
     for fname, accesses in sites.items():
         fns = {fn for fn, _ in accesses}
         if len(fns) != 1:
+            led.record("phr", "meta:%s" % fname, "kept_in_sram",
+                       reason="accessed from %d functions" % len(fns),
+                       functions=len(fns), sites=len(accesses))
             continue
         fn = next(iter(fns))
         aliases = AliasClasses(fn)
@@ -71,10 +76,16 @@ def _localize_metadata(mod: IRModule, result: PhrResult) -> None:
             if isinstance(instr.ph, Temp)
         }
         if len(classes) != 1:
+            led.record("phr", "meta:%s" % fname, "kept_in_sram",
+                       reason="accessed through %d alias classes" % len(classes),
+                       alias_classes=len(classes), sites=len(accesses))
             continue
         # Copies inherit metadata; if the class's packets are ever copied,
         # the single temp would incorrectly couple the two packets.
         if any(isinstance(i, I.PktCopy) for i in fn.all_instrs()):
+            led.record("phr", "meta:%s" % fname, "kept_in_sram",
+                       reason="packets of this class are copied",
+                       sites=len(accesses))
             continue
         local = fn.new_temp(T.U32, "meta_%s" % fname)
         init = I.Assign(local, Const(0))
@@ -86,6 +97,9 @@ def _localize_metadata(mod: IRModule, result: PhrResult) -> None:
                 elif isinstance(instr, I.MetaStore) and instr.field == fname:
                     bb.instrs[idx] = I.Assign(local, instr.value)
         result.localized_meta_fields.append(fname)
+        led.record("phr", "meta:%s" % fname, "localized",
+                   reason="all accesses in %s through one alias class" % fn.name,
+                   sites=len(accesses))
 
 
 # -- encap/decap elision ---------------------------------------------------------------
@@ -150,6 +164,10 @@ def _elide_encaps(fn: IRFunction, result: PhrResult) -> None:
                 if ph is not None:
                     new_instrs.append(I.PktSyncHead(ph, pending[c]))
                     result.syncs_inserted += 1
+                    obs_ledger.get_ledger().record(
+                        "phr", fn.name, "sync_inserted",
+                        reason="join mismatch forces sync at block end",
+                        delta_bytes=pending[c])
                     pending[c] = 0
         bb.instrs = new_instrs
 
@@ -223,6 +241,12 @@ def _rewrite_instr(fn: IRFunction, instr: I.Instr, pending: Dict[Temp, int],
         pending[cls] = d + delta
         out.append(I.Assign(instr.dst, instr.src))
         result.elided_encaps += 1
+        obs_ledger.get_ledger().record(
+            "phr", fn.name, "elided",
+            reason="%s with statically known head offset"
+                   % type(instr).__name__,
+            loc=obs_ledger.loc_str(instr.loc),
+            delta_bytes=delta, pending_bytes=pending[cls])
         return
 
     if cls is not None and d != 0:
@@ -253,6 +277,11 @@ def _rewrite_instr(fn: IRFunction, instr: I.Instr, pending: Dict[Temp, int],
                 handle = _escape_handle(instr)
                 out.append(I.PktSyncHead(handle, d))
                 result.syncs_inserted += 1
+                obs_ledger.get_ledger().record(
+                    "phr", fn.name, "sync_inserted",
+                    reason="pending head delta materialized before %s"
+                           % type(instr).__name__,
+                    loc=obs_ledger.loc_str(instr.loc), delta_bytes=d)
             pending[cls] = 0
             out.append(instr)
             return

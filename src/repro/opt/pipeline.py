@@ -5,6 +5,7 @@ from __future__ import annotations
 
 from repro.ir.cfg import simplify_cfg
 from repro.ir.module import IRFunction, IRModule
+from repro.obs import ledger as obs_ledger
 from repro.obs import metrics as obs_metrics
 from repro.opt import constprop, copyprop, cse, dce, inline
 from repro.options import CompilerOptions
@@ -26,6 +27,7 @@ def scalar_optimize_function(fn: IRFunction) -> None:
     """Run the -O1 scalar pass set on one function to fixpoint."""
     reg = obs_metrics.get_registry()
     iterations = 0
+    converged = False
     for _ in range(_MAX_ITER):
         iterations += 1
         changed = False
@@ -34,9 +36,19 @@ def scalar_optimize_function(fn: IRFunction) -> None:
                 changed = True
                 reg.counter("opt.scalar.changed", passname=pass_name).inc()
         if not changed:
+            converged = True
             break
     reg.counter("opt.scalar.fn_runs").inc()
     reg.histogram("opt.scalar.iterations").observe(iterations)
+    if not converged:
+        # The fixpoint loop ran out of budget while passes were still
+        # reporting changes: the result is still correct (each pass is
+        # sound in isolation) but possibly under-optimized.
+        reg.counter("opt.scalar.fixpoint_exhausted").inc()
+        obs_ledger.get_ledger().record(
+            "scalar", fn.name, "fixpoint_exhausted",
+            reason="still changing after _MAX_ITER iterations",
+            iterations=iterations, max_iter=_MAX_ITER)
 
 
 def run_scalar_pipeline(mod: IRModule, opts: CompilerOptions) -> None:

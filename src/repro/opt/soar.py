@@ -34,6 +34,7 @@ from repro.ir import instructions as I
 from repro.ir.cfg import compute_cfg, reverse_postorder
 from repro.ir.module import IRFunction, IRModule
 from repro.ir.values import Const, Temp
+from repro.obs import ledger as obs_ledger
 from repro.opt.aliases import AliasClasses
 
 QUADWORD = 8
@@ -146,6 +147,17 @@ def run(mod: IRModule) -> SoarResult:
     result.channel_values = {
         name: v for name, v in chan_values.items() if v is not None
     }
+    led = obs_ledger.get_ledger()
+    if led.enabled:
+        for name, (off, align) in sorted(result.channel_values.items()):
+            led.record("soar", "channel:%s" % name,
+                       "resolved" if off is not None else "unresolved",
+                       reason="head offset at channel entry",
+                       offset_bytes=off, alignment=align)
+        led.record("soar", "<module>", "summary",
+                   resolved=result.resolved_accesses,
+                   total=result.total_accesses,
+                   resolution_rate=result.resolution_rate)
     return result
 
 
@@ -290,3 +302,11 @@ def _annotate(instr: I.PktInstr, value: ClassValue, result: SoarResult,
         result.total_accesses += 1
         if off is not None:
             result.resolved_accesses += 1
+        led = obs_ledger.get_ledger()
+        if led.enabled:
+            led.record(
+                "soar",
+                obs_ledger.loc_str(instr.loc) or type(instr).__name__,
+                "resolved" if off is not None else "unresolved",
+                loc=obs_ledger.loc_str(instr.loc),
+                offset_bits=instr.c_offset_bits, alignment=align)

@@ -39,6 +39,7 @@ from repro.baker.symbols import GlobalSymbol, SymbolKind
 from repro.ir import instructions as I
 from repro.ir.module import BasicBlock, IRFunction, IRModule
 from repro.ir.values import Const, Operand, Temp
+from repro.obs import ledger as obs_ledger
 from repro.profiler.stats import ProfileData
 
 # Local Memory layout of the SWC region (word indices are relative to the
@@ -110,6 +111,11 @@ def select_candidates(mod: IRModule, profile: ProfileData,
     aggregate functions (loads elsewhere are control path)."""
     result = SwcResult()
     packets = max(profile.packets_in, 1)
+    led = obs_ledger.get_ledger()
+
+    def _reject(name, reason, **evidence):
+        result.rejected[name] = reason
+        led.record("swc", name, "rejected", reason=reason, **evidence)
 
     in_critical = _globals_in_critical_sections(mod)
     fast_loaded = _globals_loaded_in(mod, fast_functions)
@@ -121,30 +127,37 @@ def select_candidates(mod: IRModule, profile: ProfileData,
             continue
         stats = profile.global_stats.get(name)
         if stats is None or name not in fast_loaded:
-            result.rejected[name] = "not read on the packet path"
+            _reject(name, "not read on the packet path")
             continue
         if name in in_critical:
-            result.rejected[name] = "accessed inside a critical section"
+            _reject(name, "accessed inside a critical section")
             continue
         if name in fast_stored:
-            result.rejected[name] = "written on the packet path"
+            _reject(name, "written on the packet path",
+                    loads=stats.loads, stores=stats.stores)
             continue
         loads_per_packet = stats.loads / packets
         if loads_per_packet < MIN_LOADS_PER_PACKET:
-            result.rejected[name] = "too few loads/packet (%.2f)" % loads_per_packet
+            _reject(name, "too few loads/packet (%.2f)" % loads_per_packet,
+                    loads_per_packet=loads_per_packet,
+                    min_loads_per_packet=MIN_LOADS_PER_PACKET)
             continue
         if stats.loads and stats.stores / stats.loads > MAX_STORE_LOAD_RATIO:
-            result.rejected[name] = "written too often (%d stores / %d loads)" % (
-                stats.stores, stats.loads)
+            _reject(name, "written too often (%d stores / %d loads)" % (
+                        stats.stores, stats.loads),
+                    loads=stats.loads, stores=stats.stores,
+                    max_store_load_ratio=MAX_STORE_LOAD_RATIO)
             continue
         geometry = _line_geometry(sym)
         if geometry is None:
-            result.rejected[name] = "element too large for a cache line"
+            _reject(name, "element too large for a cache line")
             continue
         line_bytes, line_words = geometry
         hit = stats.estimated_hit_rate(CAM_ENTRIES, line_words)
         if hit < MIN_HIT_RATE:
-            result.rejected[name] = "estimated hit rate too low (%.2f)" % hit
+            _reject(name, "estimated hit rate too low (%.2f)" % hit,
+                    hit_rate=hit, min_hit_rate=MIN_HIT_RATE,
+                    loads_per_packet=loads_per_packet)
             continue
         screened.append((loads_per_packet, name, sym, line_bytes, line_words, stats))
 
@@ -160,18 +173,31 @@ def select_candidates(mod: IRModule, profile: ProfileData,
         if ws > CAM_ENTRIES // 2:
             # Suitable candidates are *small* structures; one that needs
             # most of the CAM to itself would thrash everything else.
-            result.rejected[name] = "working set too large (%d lines)" % ws
+            _reject(name, "working set too large (%d lines)" % ws,
+                    working_set_lines=ws, cam_entries=CAM_ENTRIES)
             continue
         if ws > capacity:
-            result.rejected[name] = (
-                "working set (%d lines) exceeds remaining CAM capacity (%d)"
-                % (ws, capacity)
-            )
+            _reject(name,
+                    "working set (%d lines) exceeds remaining CAM capacity (%d)"
+                    % (ws, capacity),
+                    working_set_lines=ws, cam_capacity_left=capacity)
             continue
         capacity -= ws
         result.cached.append(
             CacheSpec(name, gid, line_bytes, line_words, name + ".__swc_flag")
         )
+        if led.enabled:
+            # Equation 2 evidence at the paper's 1% tolerable error rate.
+            led.record(
+                "swc", name, "accepted",
+                reason="hot, rarely written, working set fits the CAM",
+                gid=gid, line_bytes=line_bytes,
+                loads_per_packet=loads_per_packet,
+                stores_per_packet=stats.stores / packets,
+                hit_rate=stats.estimated_hit_rate(CAM_ENTRIES, line_words),
+                working_set_lines=ws,
+                eq2_min_check_rate=min_check_rate(
+                    0.01, stats.stores / packets, loads_per_packet))
         gid += 1
     return result
 

@@ -1,0 +1,302 @@
+"""Decision ledger (repro.obs.ledger), compile reports, the explain
+view, and repro.obs.diff: recording semantics, the pure-observation
+guarantee (ledger-on == ledger-off, bit for bit), report determinism,
+and diff/gate exit codes."""
+
+import json
+
+import pytest
+
+from repro.apps import get_app
+from repro.compiler import compile_baker
+from repro.obs import ledger as obs_ledger
+from repro.obs.diff import EXIT_REGRESSION
+from repro.obs.diff import main as diff_main
+from repro.obs.ledger import (
+    DecisionLedger,
+    compile_report,
+    decision_counts,
+    write_compile_report,
+)
+from repro.obs.report import main as report_main
+from repro.options import options_for
+from repro.profiler.trace import ipv4_trace
+from repro.rts.system import run_on_simulator
+
+MACS = [0x0A0000000001, 0x0A0000000002, 0x0A0000000003]
+
+
+@pytest.fixture
+def clean_ledger():
+    """Leave the process-global ledger exactly as we found it."""
+    led = obs_ledger.get_ledger()
+    was_enabled = led.enabled
+    saved = led.decisions
+    led.decisions = []
+    yield led
+    led.enabled = was_enabled
+    led.decisions = saved
+
+
+def _mini_result():
+    from tests.samples import MINI_FORWARDER
+
+    trace = ipv4_trace(60, [0xC0A80101], MACS, seed=3)
+    result = compile_baker(MINI_FORWARDER, options_for("SWC"), trace)
+    return result, trace
+
+
+def _l3switch_result(level):
+    app = get_app("l3switch")
+    trace = app.make_trace(150, seed=5)
+    return compile_baker(app.source, options_for(level), trace), trace
+
+
+# -- ledger semantics -----------------------------------------------------------------
+
+
+def test_disabled_ledger_records_nothing():
+    led = DecisionLedger(enabled=False)
+    led.record("pac", "f", "combined_loads", members=3)
+    assert led.decisions == []
+
+
+def test_record_normalizes_and_orders_evidence():
+    led = DecisionLedger(enabled=True)
+    led.record("swc", "tbl", "accepted", reason="hot",
+               z_rate=0.123456789, flag=True, skipped=None, n=4)
+    (d,) = led.decisions
+    assert d.seq == 0 and d.pass_name == "swc" and d.verdict == "accepted"
+    # None dropped, bool -> int, float rounded, keys sorted.
+    assert list(d.evidence) == ["flag", "n", "z_rate"]
+    assert d.evidence == {"flag": 1, "n": 4, "z_rate": 0.123457}
+    rec = d.to_record()
+    assert rec["pass"] == "swc" and rec["reason"] == "hot"
+
+
+def test_mark_since_and_counts():
+    led = DecisionLedger(enabled=True)
+    led.record("a", "x", "v1")
+    mark = led.mark()
+    led.record("b", "y", "v2")
+    led.record("b", "z", "v2")
+    sl = led.since(mark)
+    assert [d.pass_name for d in sl] == ["b", "b"]
+    assert decision_counts(sl) == {"b": {"v2": 2}}
+
+
+# -- pure observation: ledger on/off is bit-identical ---------------------------------
+
+
+def _signature(result):
+    """Everything compilation produced, minus the decisions themselves."""
+    report = compile_report(result)
+    del report["decisions"]
+    del report["decision_counts"]
+    return json.dumps(report, sort_keys=True)
+
+
+def test_ledger_on_off_compile_and_sim_bit_identical(clean_ledger):
+    led = clean_ledger
+    led.enabled = False
+    off_result, trace = _mini_result()
+    off_run = run_on_simulator(off_result, trace, n_mes=2,
+                               warmup_packets=30, measure_packets=90)
+
+    led.enabled = True
+    on_result, trace_on = _mini_result()
+    on_run = run_on_simulator(on_result, trace_on, n_mes=2,
+                              warmup_packets=30, measure_packets=90)
+
+    assert led.decisions, "enabled ledger recorded nothing"
+    assert not off_result.decisions
+    assert on_result.decisions
+    # Compilation output identical: images, plan, opt results, IR size.
+    assert _signature(on_result) == _signature(off_result)
+    assert on_result.fast_functions == off_result.fast_functions
+    # Simulation identical down to the bytes on the wire.
+    assert on_run.tx_signature() == off_run.tx_signature()
+    assert on_run.forwarding_gbps == off_run.forwarding_gbps
+    assert on_run.sim_cycles == off_run.sim_cycles
+
+
+# -- decision content ------------------------------------------------------------------
+
+
+def test_l3switch_swc_report_contents(clean_ledger):
+    led = clean_ledger
+    led.enabled = True
+    result, _ = _l3switch_result("SWC")
+    report = compile_report(result, app="l3switch")
+
+    assert report["kind"] == "compile_report" and report["app"] == "l3switch"
+    counts = report["decision_counts"]
+    # Every instrumented layer shows up for the fully optimized compile.
+    assert counts["aggregation"]["merged"] >= 1
+    assert counts["inline"]["inlined"] >= 1
+    assert counts["pac"]["combined_loads"] >= 1
+    assert counts["soar"]["resolved"] >= 1
+    assert counts["swc"]["accepted"] >= 1
+    assert counts["swc"]["rejected"] >= 1
+    assert counts["codesize"]["fits"] >= 1
+    assert counts["melayout"]["lm_only"] + counts["melayout"].get(
+        "sram_overflow", 0) >= 1
+
+    for rec in report["decisions"]:
+        assert set(rec) >= {"seq", "pass", "subject", "verdict"}
+    # seq is re-based to the compile's own slice.
+    assert report["decisions"][0]["seq"] == 0
+
+    # SWC records carry the Equation 2 evidence.
+    accepted = [d for d in report["decisions"]
+                if d["pass"] == "swc" and d["verdict"] == "accepted"]
+    assert accepted
+    ev = accepted[0]["evidence"]
+    assert {"loads_per_packet", "stores_per_packet", "hit_rate",
+            "eq2_min_check_rate", "working_set_lines"} <= set(ev)
+    # The rejected dict in the opt section matches the rejected decisions.
+    rejected = {d["subject"] for d in report["decisions"]
+                if d["pass"] == "swc" and d["verdict"] == "rejected"}
+    assert rejected == set(report["opt"]["swc"]["rejected"])
+
+
+def test_report_is_deterministic(clean_ledger, tmp_path):
+    led = clean_ledger
+    led.enabled = True
+    r1, _ = _mini_result()
+    p1 = write_compile_report(r1, str(tmp_path / "a.json"))
+    r2, _ = _mini_result()
+    p2 = write_compile_report(r2, str(tmp_path / "b.json"))
+    with open(p1) as fa, open(p2) as fb:
+        assert fa.read() == fb.read()
+
+
+# -- explain ---------------------------------------------------------------------------
+
+
+def test_explain_renders_decisions(clean_ledger, tmp_path, capsys):
+    led = clean_ledger
+    led.enabled = True
+    result, _ = _mini_result()
+    path = write_compile_report(result, str(tmp_path / "r.json"), app="mini")
+    assert report_main(["explain", path]) == 0
+    out = capsys.readouterr().out
+    assert "compile report" in out and "app=mini" in out
+    assert "[aggregation]" in out
+    assert "decisions:" in out
+
+
+def test_explain_errors_exit_nonzero(tmp_path, capsys):
+    assert report_main(["explain", str(tmp_path / "missing.json")]) == 1
+    corrupt = tmp_path / "corrupt.json"
+    corrupt.write_text("{nope")
+    assert report_main(["explain", str(corrupt)]) == 1
+    wrong = tmp_path / "wrong.json"
+    wrong.write_text(json.dumps({"kind": "bench"}))
+    assert report_main(["explain", str(wrong)]) == 1
+    capsys.readouterr()
+
+
+# -- report --json ---------------------------------------------------------------------
+
+
+def test_report_json_flag(tmp_path, capsys):
+    jsonl = tmp_path / "m.jsonl"
+    jsonl.write_text(
+        json.dumps({"type": "counter", "name": "opt.scalar.fn_runs",
+                    "value": 3, "labels": {"app": "x"}}) + "\n"
+        + json.dumps({"type": "gauge", "name": "compile.ir.instrs",
+                      "value": 100, "labels": {"app": "x",
+                                               "stage": "initial"}}) + "\n")
+    assert report_main([str(jsonl), "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["kind"] == "metrics_report"
+    (scope,) = data["scopes"]
+    assert scope["labels"] == {"app": "x"}
+    assert scope["sections"]["opt"] == {"opt.scalar.fn_runs": 3}
+    assert scope["sections"]["ir"]["initial"]["instrs"] == 100
+
+
+def test_report_json_flag_keeps_error_exits(tmp_path, capsys):
+    assert report_main([str(tmp_path / "missing.jsonl"), "--json"]) == 1
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    assert report_main([str(empty), "--json"]) == 1
+    capsys.readouterr()
+
+
+# -- diff ------------------------------------------------------------------------------
+
+
+def test_diff_identical_reports_exit_zero(clean_ledger, tmp_path, capsys):
+    led = clean_ledger
+    led.enabled = True
+    result, _ = _mini_result()
+    path = write_compile_report(result, str(tmp_path / "r.json"))
+    assert diff_main([path, path]) == 0
+    out = capsys.readouterr().out
+    assert "identical" in out and "no regressions" in out
+
+
+def test_diff_base_vs_swc_shows_expected_deltas(clean_ledger, tmp_path,
+                                                capsys):
+    led = clean_ledger
+    led.enabled = True
+    base, _ = _l3switch_result("BASE")
+    p_base = write_compile_report(base, str(tmp_path / "base.json"))
+    led.decisions = []
+    swc, _ = _l3switch_result("SWC")
+    p_swc = write_compile_report(swc, str(tmp_path / "swc.json"))
+
+    assert diff_main([p_base, p_swc]) == 0
+    out = capsys.readouterr().out
+    # The acceptance-criteria deltas: nonzero PAC combines + SWC accepts.
+    assert "pac" in out and "combined_loads" in out
+    assert "swc" in out and "accepted" in out
+    assert "decision deltas:" in out
+
+
+def test_diff_bench_gates_rate_regressions(tmp_path, capsys):
+    old = {"kind": "bench", "figure": "fig13", "app": "l3switch",
+           "me_counts": [1, 2], "rates": {"SWC": [1.0, 2.0]}}
+    good = dict(old, rates={"SWC": [1.0, 1.95]})   # -2.5%: within tolerance
+    bad = dict(old, rates={"SWC": [1.0, 1.5]})     # -25%: regression
+    po, pg, pb = (tmp_path / n for n in ("o.json", "g.json", "b.json"))
+    po.write_text(json.dumps(old))
+    pg.write_text(json.dumps(good))
+    pb.write_text(json.dumps(bad))
+
+    assert diff_main([str(po), str(po)]) == 0
+    assert diff_main([str(po), str(pg)]) == 0
+    assert diff_main([str(po), str(pb)]) == EXIT_REGRESSION
+    out = capsys.readouterr().out
+    assert "REGRESSIONS:" in out
+    # A looser tolerance lets the same pair pass.
+    assert diff_main([str(po), str(pb), "--tolerance", "0.5"]) == 0
+    capsys.readouterr()
+
+
+def test_diff_errors_exit_one(tmp_path, capsys):
+    missing = str(tmp_path / "missing.json")
+    assert diff_main([missing, missing]) == 1
+    bench = tmp_path / "bench.json"
+    bench.write_text(json.dumps({"kind": "bench", "rates": {}}))
+    compile_p = tmp_path / "compile.json"
+    compile_p.write_text(json.dumps({"kind": "compile_report"}))
+    assert diff_main([str(bench), str(compile_p)]) == 1
+    capsys.readouterr()
+
+
+def test_diff_compile_gate_flags_code_size_growth(tmp_path, capsys):
+    old = {"kind": "compile_report", "level": "SWC",
+           "images": {"agg": {"code_size": 1000}}, "decision_counts": {}}
+    new = {"kind": "compile_report", "level": "SWC",
+           "images": {"agg": {"code_size": 1200}}, "decision_counts": {}}
+    po, pn = tmp_path / "o.json", tmp_path / "n.json"
+    po.write_text(json.dumps(old))
+    pn.write_text(json.dumps(new))
+    # Without --gate: reported but exit 0.
+    assert diff_main([str(po), str(pn)]) == 0
+    # With --gate: 20% growth beyond the 5% tolerance fails.
+    assert diff_main([str(po), str(pn), "--gate"]) == EXIT_REGRESSION
+    capsys.readouterr()

@@ -352,3 +352,84 @@ def test_compile_telemetry_recorded(clean_obs):
     assert ir_instrs, "IR size gauges missing"
     assert any(r["name"] == "opt.scalar.fn_runs" and r["value"] > 0
                for r in recs)
+
+
+# -- hot-path attribution and per-pass counters -----------------------------------
+
+
+def test_profile_hot_lines_attribution():
+    """attribute_lines=True charges interpreted instructions to Baker
+    source lines; off by default it records nothing (and either way the
+    rest of the profile is identical)."""
+    from repro.baker import parse_and_check
+    from repro.baker.lowering import lower_program
+    from repro.profiler.interpreter import run_reference
+    from tests.samples import MINI_FORWARDER
+
+    trace = ipv4_trace(40, [0xC0A80101], MACS, seed=3)
+    mod_off = lower_program(parse_and_check(MINI_FORWARDER, "mini.bk"))
+    off = run_reference(mod_off, trace)
+    assert off.profile.hot_lines() == []
+
+    mod_on = lower_program(parse_and_check(MINI_FORWARDER, "mini.bk"))
+    on = run_reference(mod_on, trace, attribute_lines=True)
+    hot = on.profile.hot_lines(5)
+    assert hot, "no lines attributed"
+    for src, count in hot:
+        fname, _, line = src.rpartition(":")
+        assert fname == "mini.bk" and int(line) >= 1 and count > 0
+    counts = [c for _, c in hot]
+    assert counts == sorted(counts, reverse=True)
+    # Attribution observes; it does not perturb the reference run.
+    assert on.tx_signature() == off.tx_signature()
+    assert on.profile.ppf_instrs == off.profile.ppf_instrs
+
+
+def test_opt_scalar_changed_counters(clean_obs):
+    """Each -O1 scalar pass that changes a function bumps its own
+    opt.scalar.changed{passname=...} counter."""
+    reg = clean_obs
+    obs.enable()
+    reg.clear()
+    _mini_result()
+    changed = {(r["labels"] or {}).get("passname"): r["value"]
+               for r in reg.records() if r["name"] == "opt.scalar.changed"}
+    assert changed, "no scalar pass reported a change"
+    known = {"simplify_cfg", "constprop", "copyprop", "cse", "dce"}
+    assert set(changed) <= known
+    assert all(v > 0 for v in changed.values())
+    # Fresh lowered IR always leaves dead-code/copy cleanup to do.
+    assert "dce" in changed or "copyprop" in changed
+
+
+def test_scalar_fixpoint_exhaustion_is_reported(clean_obs, monkeypatch):
+    """A starved fixpoint budget is surfaced via counter + ledger
+    warning instead of failing silently."""
+    from repro.baker import parse_and_check
+    from repro.baker.lowering import lower_program
+    from repro.obs import ledger as obs_ledger
+    from repro.opt import pipeline
+    from tests.samples import MINI_FORWARDER
+
+    reg = clean_obs
+    obs.enable()
+    reg.clear()
+    led = obs_ledger.get_ledger()
+    was_enabled, saved = led.enabled, led.decisions
+    led.enabled, led.decisions = True, []
+    try:
+        monkeypatch.setattr(pipeline, "_MAX_ITER", 1)
+        mod = lower_program(parse_and_check(MINI_FORWARDER, "mini.bk"))
+        for fn in mod.functions.values():
+            pipeline.scalar_optimize_function(fn)
+        exhausted = [r for r in reg.records()
+                     if r["name"] == "opt.scalar.fixpoint_exhausted"]
+        assert exhausted and exhausted[0]["value"] > 0
+        warnings = [d for d in led.decisions
+                    if d.pass_name == "scalar"
+                    and d.verdict == "fixpoint_exhausted"]
+        assert warnings
+        assert warnings[0].evidence["max_iter"] == 1
+        assert "still changing" in warnings[0].reason
+    finally:
+        led.enabled, led.decisions = was_enabled, saved
