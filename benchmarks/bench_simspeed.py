@@ -1,0 +1,110 @@
+"""Simulator throughput: packets simulated per wall-clock second.
+
+Unlike the figure benchmarks (which measure the *simulated* forwarding
+rate), this one measures the simulator itself: how fast
+``run_on_simulator`` turns packets over on the host, per app and ME
+count, for both dispatch cores (``legacy`` handler-table interpreter vs
+the predecoded ``fast`` path, ``src/repro/ixp/predecode.py``).
+
+Methodology: legacy/fast runs are interleaved rep by rep so host-load
+drift hits both modes equally, and each mode reports its best-of-N wall
+time (the min is the standard low-noise estimator for a throughput
+benchmark; everything slower is measurement interference). Every rep's
+results are also checked bit-identical across modes -- a speedup that
+changed simulated behavior would be a bug, not a win.
+
+Writes ``BENCH_simspeed.json`` (repo root, merge-on-write) with
+``rates`` rows keyed ``<app>.<mode>`` (packets/s) and ``<app>.speedup``
+so ``python -m repro.obs.diff old new`` gates regressions the same way
+it gates the forwarding-rate figures.
+
+Environment knobs (the CI smoke job uses both):
+  SIMSPEED_APPS     comma-separated app subset (default: all three)
+  SIMSPEED_REPEATS  interleaved repetitions per mode (default 5)
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from benchmarks.figures_common import write_bench_json
+from repro.rts.system import run_on_simulator
+
+#: Small/mid/full parallelism; the 4-ME column is the headline number.
+ME_COUNTS = [1, 4, 6]
+WARMUP_PACKETS = 100
+MEASURE_PACKETS = 1000
+LEVEL = "SWC"
+
+REPEATS = max(1, int(os.environ.get("SIMSPEED_REPEATS", "5")))
+APPS = [a for a in os.environ.get(
+    "SIMSPEED_APPS", "l3switch,firewall,mpls").split(",") if a]
+
+
+def _signature(run):
+    """Everything the equivalence contract covers, in one comparable."""
+    return (run.tx_signature(), run.sim_cycles,
+            tuple(run.me_executed_instrs), tuple(run.me_times),
+            run.forwarding_gbps, run.access_profile.row())
+
+
+def _measure(result, trace, n_mes):
+    """{mode: packets-per-wall-second} at best-of-REPEATS, with the two
+    modes' simulated results asserted bit-identical."""
+    best = {"legacy": float("inf"), "fast": float("inf")}
+    sigs = {}
+    for _ in range(REPEATS):
+        for mode in ("legacy", "fast"):
+            t0 = time.perf_counter()
+            run = run_on_simulator(result, trace, n_mes=n_mes,
+                                   warmup_packets=WARMUP_PACKETS,
+                                   measure_packets=MEASURE_PACKETS,
+                                   dispatch=mode)
+            dt = time.perf_counter() - t0
+            if dt < best[mode]:
+                best[mode] = dt
+            sigs[mode] = _signature(run)
+    assert sigs["legacy"] == sigs["fast"], (
+        "legacy and fast dispatch diverged at %d MEs" % n_mes)
+    packets = WARMUP_PACKETS + MEASURE_PACKETS
+    return {mode: packets / dt for mode, dt in best.items()}
+
+
+@pytest.mark.parametrize("app_name", APPS)
+def test_simspeed(app_name, compile_cache, report):
+    result, trace = compile_cache(app_name, LEVEL)
+    legacy_row, fast_row, speedup_row = [], [], []
+    for n_mes in ME_COUNTS:
+        pps = _measure(result, trace, n_mes)
+        legacy_row.append(round(pps["legacy"], 1))
+        fast_row.append(round(pps["fast"], 1))
+        speedup_row.append(round(pps["fast"] / pps["legacy"], 2))
+
+    report("simspeed_%s" % app_name, [
+        "%s: simulator throughput (packets/wall-second), best of %d"
+        % (app_name, REPEATS),
+        "MEs:     " + "  ".join("%8d" % n for n in ME_COUNTS),
+        "legacy   " + "  ".join("%8.0f" % v for v in legacy_row),
+        "fast     " + "  ".join("%8.0f" % v for v in fast_row),
+        "speedup  " + "  ".join("%8.2f" % v for v in speedup_row),
+    ])
+    write_bench_json("simspeed", {
+        "me_counts": list(ME_COUNTS),
+        "warmup_packets": WARMUP_PACKETS,
+        "measure_packets": MEASURE_PACKETS,
+        "rates": {
+            "%s.legacy" % app_name: legacy_row,
+            "%s.fast" % app_name: fast_row,
+            "%s.speedup" % app_name: speedup_row,
+        },
+    })
+
+    # The smoke floor is deliberately conservative (CI runners are
+    # noisy); the tracked artifact carries the real numbers, and
+    # repro.obs.diff gates drift between runs.
+    for n_mes, s in zip(ME_COUNTS, speedup_row):
+        assert s >= 1.3, (
+            "predecoded dispatch only %.2fx legacy at %d MEs" % (s, n_mes))

@@ -8,6 +8,7 @@ branch targets, and enforces the 4096-instruction control store limit.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -33,10 +34,56 @@ class MEImage:
     functions: List[str] = field(default_factory=list)
     stack_layout: Optional[StackLayoutResult] = None
     inputs: List[Tuple[str, str]] = field(default_factory=list)  # (ring, entry)
+    # Predecoded step programs. ``decode_cache`` is the per-chip
+    # identity fast path (weak keys: a cached CompileResult outlives
+    # many benchmark chips, and each chip owns multi-MiB memory arrays
+    # that must not be pinned here). ``_decode_plans`` holds
+    # (used_symbols, prog) pairs: programs capture no chip-owned
+    # objects, only resolved symbol values, so a program built for one
+    # chip is reused by any later chip whose symbol table matches --
+    # repeated simulator runs skip the decode entirely.
+    decode_cache: "weakref.WeakKeyDictionary" = field(
+        default_factory=weakref.WeakKeyDictionary, repr=False, compare=False)
+    _decode_plans: list = field(default_factory=list, repr=False,
+                                compare=False)
+    _decode_fp: Optional[int] = field(default=None, repr=False, compare=False)
 
     def describe(self) -> str:
         return "%s: %d instrs (%d control-store words), %d functions" % (
             self.name, len(self.insns), self.code_size, len(self.functions))
+
+    def _fingerprint(self) -> int:
+        # Content hash over the canonical formatting (plus resolved
+        # branch targets, which format_insn omits): in-place edits of
+        # the instruction list -- the oracle tests corrupt images this
+        # way -- must not be served a stale predecoded program.
+        return hash(tuple(
+            (repr(i), getattr(i, "resolved", None)) for i in self.insns))
+
+    def predecoded(self, chip):
+        """The fast-dispatch program for this image on ``chip``: every
+        instruction bound once to a handler closure with operands
+        pre-resolved (:mod:`repro.ixp.predecode`). Built on first use --
+        after the loader has placed symbols and created rings -- and
+        shared by every ME running this image on the same chip."""
+        prog = self.decode_cache.get(chip)
+        if prog is None:
+            from repro.ixp.predecode import plan_matches, predecode_image
+
+            fp = self._fingerprint()
+            if fp != self._decode_fp:
+                self._decode_plans.clear()
+                self.decode_cache = weakref.WeakKeyDictionary()
+                self._decode_fp = fp
+            for used, cached in self._decode_plans:
+                if plan_matches(used, chip):
+                    prog = cached
+                    break
+            else:
+                prog, used = predecode_image(self, chip)
+                self._decode_plans.append((used, prog))
+            self.decode_cache[chip] = prog
+        return prog
 
 
 def _entry_ppfs(mod, plan, agg) -> List[str]:

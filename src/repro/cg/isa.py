@@ -93,10 +93,14 @@ CAT_APP = "app"  # application globals, locks, stack overflow
 
 class Insn:
     """Base instruction. ``size`` = control-store words; ``cycles`` =
-    issue cycles charged by the simulator (memory wait time is separate)."""
+    issue cycles charged by the simulator (memory wait time is separate).
+    ``kind`` is the stable decode tag the simulator's predecode stage
+    keys its step compilers on (:mod:`repro.ixp.predecode`); pseudo
+    instructions that never reach the simulator leave it ``None``."""
 
     size = 1
     cycles = 1
+    kind: Optional[str] = None
     _reads: Sequence[str] = ()
     _writes: Sequence[str] = ()
 
@@ -142,6 +146,7 @@ class Insn:
 
 
 class Alu(Insn):
+    kind = "alu"
     _reads = ("a", "b")
     _writes = ("dst",)
 
@@ -159,6 +164,7 @@ class Alu(Insn):
 
 class Immed(Insn):
     """Load a 32-bit constant (2 control-store words when >16 bits)."""
+    kind = "immed"
 
     _writes = ("dst",)
 
@@ -178,6 +184,7 @@ class Immed(Insn):
 class LoadSym(Insn):
     """Load a link-time symbol address. Two control-store words (the
     address is not known to fit 16 bits)."""
+    kind = "loadsym"
 
     size = 2
     cycles = 2
@@ -189,6 +196,7 @@ class LoadSym(Insn):
 
 
 class Mov(Insn):
+    kind = "mov"
     _reads = ("src",)
     _writes = ("dst",)
 
@@ -199,6 +207,7 @@ class Mov(Insn):
 
 class Cmp(Insn):
     """ALU compare: sets the thread's condition state to (a - b)."""
+    kind = "cmp"
 
     _reads = ("a", "b")
 
@@ -208,6 +217,7 @@ class Cmp(Insn):
 
 
 class Br(Insn):
+    kind = "br"
     _reads = ()
 
     def __init__(self, cond: str, target: str):
@@ -223,6 +233,7 @@ class Bal(Insn):
     ``arg_regs`` are the ABI registers the callee consumes (reads, so
     nothing may clobber them between the argument moves and the call);
     ``ret_regs`` are the ABI result registers the call defines."""
+    kind = "bal"
 
     _reads = ("arg_regs",)
     _writes = ("link", "ret_regs")
@@ -239,6 +250,7 @@ class Bal(Insn):
 class Rtn(Insn):
     """Indirect jump through a register (function return). ``result_regs``
     keeps the ABI return registers live through the jump."""
+    kind = "rtn"
 
     _reads = ("addr", "result_regs")
 
@@ -254,6 +266,7 @@ class Mem(Insn):
     per *word* moved. ``byte_mask`` (writes only) enables partial-byte
     writes within the transfer. The issuing thread always swaps out until
     completion (``ctx_swap``), which is how IXP code hides latency."""
+    kind = "mem"
 
     _reads = ("addr_a", "addr_b", "regs_in", "mask_reg")
     _writes = ("regs_out",)
@@ -297,6 +310,7 @@ class Mem(Insn):
 
 class RingGet(Insn):
     """Pop one word from a scratch ring; 0 if the ring is empty."""
+    kind = "ring_get"
 
     _writes = ("dst",)
 
@@ -307,6 +321,7 @@ class RingGet(Insn):
 
 
 class RingPut(Insn):
+    kind = "ring_put"
     _reads = ("src",)
 
     def __init__(self, ring: SymRef, src: Operand, category: str = CAT_PACKET):
@@ -317,6 +332,7 @@ class RingPut(Insn):
 
 class TestAndSet(Insn):
     """Atomic scratch test-and-set (returns the previous value)."""
+    kind = "tas"
 
     _reads = ("addr_a",)
     _writes = ("dst",)
@@ -328,6 +344,7 @@ class TestAndSet(Insn):
 
 class AtomicRelease(Insn):
     """Scratch atomic write of zero (lock release)."""
+    kind = "release"
 
     _reads = ("addr_a",)
 
@@ -341,6 +358,7 @@ class LmRead(Insn):
     3-cycle LM pointer latency. ``thread_rel`` makes the address relative
     to the thread's private LM window (the per-context LM_ADDR CSR set at
     boot) -- that is how stack frames are addressed."""
+    kind = "lm_read"
 
     _reads = ("base",)
     _writes = ("dst",)
@@ -358,6 +376,7 @@ class LmRead(Insn):
 
 
 class LmWrite(Insn):
+    kind = "lm_write"
     _reads = ("base", "src")
 
     def __init__(self, base: Optional[Operand], offset: int, src: Operand,
@@ -375,6 +394,7 @@ class LmWrite(Insn):
 class ThreadStackAddr(Insn):
     """Materialize this thread's SRAM stack-overflow base address (a
     local_csr read plus address arithmetic)."""
+    kind = "thread_stack_addr"
 
     size = 2
     cycles = 2
@@ -385,6 +405,7 @@ class ThreadStackAddr(Insn):
 
 
 class CamLookup(Insn):
+    kind = "cam_lookup"
     _reads = ("key",)
     _writes = ("dst",)
 
@@ -394,6 +415,7 @@ class CamLookup(Insn):
 
 
 class CamWrite(Insn):
+    kind = "cam_write"
     _reads = ("entry", "key")
 
     def __init__(self, entry: Operand, key: Operand):
@@ -402,14 +424,17 @@ class CamWrite(Insn):
 
 
 class CamClear(Insn):
+    kind = "cam_clear"
     pass
 
 
 class CtxArb(Insn):
     """Voluntarily yield to the next ready thread."""
+    kind = "ctx_arb"
 
 
 class Halt(Insn):
+    kind = "halt"
     pass
 
 

@@ -18,16 +18,17 @@ class CAM:
 
     def lookup(self, key: int) -> int:
         key &= 0xFFFFFFFF
-        for entry in range(self.ENTRIES):
-            if self.tags[entry] == key:
-                self._touch(entry)
-                return (entry << 1) | 1
-        # Miss: the LRU victim is returned AND becomes most-recently-used
-        # (MEv2 behavior) -- concurrent missing threads therefore receive
-        # distinct victims instead of racing on one entry.
-        victim = self.lru[0]
-        self._touch(victim)
-        return victim << 1
+        try:
+            entry = self.tags.index(key)  # lowest matching entry
+        except ValueError:
+            # Miss: the LRU victim is returned AND becomes most-recently-
+            # used (MEv2 behavior) -- concurrent missing threads therefore
+            # receive distinct victims instead of racing on one entry.
+            victim = self.lru[0]
+            self._touch(victim)
+            return victim << 1
+        self._touch(entry)
+        return (entry << 1) | 1
 
     def write(self, entry: int, key: int) -> None:
         entry &= 0xF

@@ -71,9 +71,9 @@ class IXP2400:
         self.mes.append(me)
 
         def run() -> Optional[float]:
-            me.time = max(me.time, self.now)
-            nxt = me.run_slice()
-            return nxt
+            if self.now > me.time:
+                me.time = self.now
+            return me.run_slice()
 
         self.schedule(0.0, run)
 
@@ -89,13 +89,16 @@ class IXP2400:
             return self.now + delay
 
         def tx_event() -> Optional[float]:
-            tx.poll(self.now)
-            ring = self.rings.get("ring.tx")
-            if ring is not None and len(ring) and tx.busy_until > self.now:
+            now = self.now
+            tx.poll(now)
+            # poll() bound (or raised on) the tx ring, so reuse its
+            # reference instead of a fresh RingSet lookup.
+            ring = tx._tx_ring
+            if ring.items and tx.busy_until > now:
                 # Packets are waiting on line-rate pacing: wake exactly
                 # when the transmitter frees up.
-                return max(tx.busy_until, self.now + 1.0)
-            return self.now + tx_poll_cycles
+                return max(tx.busy_until, now + 1.0)
+            return now + tx_poll_cycles
 
         self.schedule(0.0, rx_event)
         self.schedule(0.0, tx_event)
@@ -122,22 +125,44 @@ class IXP2400:
         not advance time past ``X``. Use :meth:`run_for` for a relative
         budget.
         """
-        checked = 0
+        countdown = stop_check_interval
         sampler = self.sampler
-        while self._events:
-            time, seq, action = heapq.heappop(self._events)
+        events = self._events
+        pop = heapq.heappop
+        push = heapq.heappush
+        now = self.now
+        while events:
+            time, seq, action = pop(events)
             if time > until_cycles:
-                heapq.heappush(self._events, (time, seq, action))
-                break
-            self.now = max(self.now, time)
-            if sampler is not None and self.now >= sampler.next_t:
-                sampler.sample(self.now)
+                push(events, (time, seq, action))
+                # The whole window up to the deadline was granted: advance
+                # the clock to it (the next event is beyond it) so repeated
+                # run_for drain loops do not re-grant the same window and
+                # ``seconds`` reports the simulated span honestly.
+                self.now = max(now, min(until_cycles, time))
+                return
+            if time > now:
+                self.now = now = time
+            if sampler is not None:
+                # Catch up past *every* elapsed sample mark, not just one:
+                # sparse event periods must not silently skip grid points.
+                while now >= sampler.next_t:
+                    sampler.sample(sampler.next_t)
             nxt = action()
             if nxt is not None:
-                self.schedule(max(nxt, self.now + 1e-9), action)
-            checked += 1
-            if stop is not None and checked % stop_check_interval == 0 and stop():
-                break
+                # Re-arm at the requested time; past-due times collapse to
+                # ``now`` and the integer sequence number breaks the tie
+                # (no 1e-9 clock-noise bumps).
+                self._seq += 1
+                push(events, (nxt if nxt > now else now, self._seq, action))
+            countdown -= 1
+            if countdown == 0:
+                countdown = stop_check_interval
+                if stop is not None and stop():
+                    return
+        # Event heap drained before the deadline: the quiet remainder of
+        # the window still elapsed.
+        self.now = max(now, until_cycles)
 
     def run_for(self, cycles: float,
                 stop: Optional[Callable[[], bool]] = None,

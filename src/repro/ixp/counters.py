@@ -20,8 +20,9 @@ class Counters:
         self.words: Counter = Counter()
 
     def record(self, space: str, category: str, words: int) -> None:
-        self.accesses[(space, category)] += 1
-        self.words[(space, category)] += words
+        key = (space, category)
+        self.accesses[key] += 1
+        self.words[key] += words
 
     def snapshot(self) -> Dict:
         return {

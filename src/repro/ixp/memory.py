@@ -102,11 +102,17 @@ class MemorySystem:
 
     def read_words(self, space: str, addr: int, nwords: int) -> list:
         store = self.stores[space]
-        if addr < 0 or addr + nwords * 4 > len(store):
+        end = addr + nwords * 4
+        if addr < 0 or end > len(store):
             raise IndexError("%s read out of range at %#x" % (space, addr))
+        if nwords == 1:
+            return [int.from_bytes(store[addr:end], "big")]
+        if nwords == 2:
+            return [int.from_bytes(store[addr : addr + 4], "big"),
+                    int.from_bytes(store[addr + 4 : end], "big")]
         return [
-            int.from_bytes(store[addr + i * 4 : addr + i * 4 + 4], "big")
-            for i in range(nwords)
+            int.from_bytes(store[i : i + 4], "big")
+            for i in range(addr, end, 4)
         ]
 
     def write_words(self, space: str, addr: int, values: list,
@@ -114,10 +120,15 @@ class MemorySystem:
         store = self.stores[space]
         if addr < 0 or addr + len(values) * 4 > len(store):
             raise IndexError("%s write out of range at %#x" % (space, addr))
+        if byte_mask is None:
+            for i, value in enumerate(values):
+                off = addr + i * 4
+                store[off : off + 4] = (value & 0xFFFFFFFF).to_bytes(4, "big")
+            return
         for i, value in enumerate(values):
             data = (value & 0xFFFFFFFF).to_bytes(4, "big")
             for b in range(4):
-                if byte_mask is None or (byte_mask >> (i * 4 + b)) & 1:
+                if (byte_mask >> (i * 4 + b)) & 1:
                     store[addr + i * 4 + b] = data[b]
 
     def read_bytes(self, space: str, addr: int, n: int) -> bytes:
@@ -130,9 +141,94 @@ class MemorySystem:
 
     def timed_access(self, now: float, space: str, words: int,
                      category: str, addr: int = 0) -> float:
-        """Charge a channel and the counters; returns completion time."""
-        self.counters.record(space, category, words)
-        channel = space
+        """Charge a channel and the counters; returns completion time.
+
+        The counter bump and the channel request are inlined (this is
+        the hottest memory-model entry point); the arithmetic matches
+        :meth:`MemoryChannel.request` exactly."""
+        counters = self.counters
+        key = (space, category)
+        counters.accesses[key] += 1
+        counters.words[key] += words
         if space == "sram" and (addr >> self.SRAM_INTERLEAVE_SHIFT) & 1:
-            channel = "sram1"
-        return self.channels[channel].request(now, words)
+            ch = self.channels["sram1"]
+        else:
+            ch = self.channels[space]
+        p = ch.params
+        occupancy = p.occupancy_base + p.occupancy_per_word * words
+        start = ch.next_free
+        if now > start:
+            start = now
+        ch.next_free = start + occupancy
+        ch.busy_time += occupancy
+        return start + occupancy + p.latency
+
+    def timed_read(self, now: float, space: str, nwords: int,
+                   category: str, addr: int) -> Tuple[float, list]:
+        """Fused :meth:`timed_access` + :meth:`read_words` for the
+        predecoded fast path: one call per blocking read, both bodies
+        inlined. Accounting, arithmetic and the charge-before-bounds-
+        check order are identical to the two separate calls."""
+        counters = self.counters
+        key = (space, category)
+        counters.accesses[key] += 1
+        counters.words[key] += nwords
+        if space == "sram" and (addr >> self.SRAM_INTERLEAVE_SHIFT) & 1:
+            ch = self.channels["sram1"]
+        else:
+            ch = self.channels[space]
+        p = ch.params
+        occupancy = p.occupancy_base + p.occupancy_per_word * nwords
+        start = ch.next_free
+        if now > start:
+            start = now
+        ch.next_free = start + occupancy
+        ch.busy_time += occupancy
+        store = self.stores[space]
+        end = addr + nwords * 4
+        if addr < 0 or end > len(store):
+            raise IndexError("%s read out of range at %#x" % (space, addr))
+        if nwords == 1:
+            values = [int.from_bytes(store[addr:end], "big")]
+        elif nwords == 2:
+            values = [int.from_bytes(store[addr : addr + 4], "big"),
+                      int.from_bytes(store[addr + 4 : end], "big")]
+        else:
+            values = [int.from_bytes(store[i : i + 4], "big")
+                      for i in range(addr, end, 4)]
+        return start + occupancy + p.latency, values
+
+    def timed_write(self, now: float, space: str, words: int,
+                    category: str, addr: int, values: list,
+                    byte_mask: int = None) -> float:
+        """Fused :meth:`timed_access` + :meth:`write_words`, both bodies
+        inlined; see :meth:`timed_read`."""
+        counters = self.counters
+        key = (space, category)
+        counters.accesses[key] += 1
+        counters.words[key] += words
+        if space == "sram" and (addr >> self.SRAM_INTERLEAVE_SHIFT) & 1:
+            ch = self.channels["sram1"]
+        else:
+            ch = self.channels[space]
+        p = ch.params
+        occupancy = p.occupancy_base + p.occupancy_per_word * words
+        start = ch.next_free
+        if now > start:
+            start = now
+        ch.next_free = start + occupancy
+        ch.busy_time += occupancy
+        store = self.stores[space]
+        if addr < 0 or addr + len(values) * 4 > len(store):
+            raise IndexError("%s write out of range at %#x" % (space, addr))
+        if byte_mask is None:
+            for i, value in enumerate(values):
+                off = addr + i * 4
+                store[off : off + 4] = (value & 0xFFFFFFFF).to_bytes(4, "big")
+        else:
+            for i, value in enumerate(values):
+                data = (value & 0xFFFFFFFF).to_bytes(4, "big")
+                for b in range(4):
+                    if (byte_mask >> (i * 4 + b)) & 1:
+                        store[addr + i * 4 + b] = data[b]
+        return start + occupancy + p.latency

@@ -6,10 +6,21 @@ issues a memory reference (which swaps it out until the data returns) or
 an explicit ``ctx_arb``; a round-robin arbiter then picks the next ready
 thread (paper section 3.1). Instructions cost their ``cycles``; taken
 branches add one abort cycle.
+
+Two dispatch cores execute the same images with bit-identical results
+(tests/test_fastpath.py):
+
+* ``fast`` (default) -- the image is predecoded once per chip into
+  specialized step closures (:mod:`repro.ixp.predecode`), so the inner
+  loop does no dict lookups, type tests, or operand attribute chasing;
+* ``legacy`` -- the original per-instruction handler-table interpreter,
+  kept as the equivalence reference and selectable with
+  ``dispatch="legacy"`` or ``REPRO_SIM_DISPATCH=legacy``.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional
 
 from repro.cg import abi
@@ -32,6 +43,15 @@ def _signed(v: int) -> int:
 
 class SimError(RuntimeError):
     pass
+
+
+DISPATCH_MODES = ("fast", "legacy")
+
+
+def default_dispatch() -> str:
+    """Process-wide default dispatch core (``REPRO_SIM_DISPATCH``)."""
+    mode = os.environ.get("REPRO_SIM_DISPATCH", "fast")
+    return mode if mode in DISPATCH_MODES else "fast"
 
 
 class Thread:
@@ -65,7 +85,8 @@ class Thread:
 class Microengine:
     """One ME: instruction store, 8 threads, Local Memory, CAM."""
 
-    def __init__(self, index: int, image, chip, n_threads: int = N_THREADS):
+    def __init__(self, index: int, image, chip, n_threads: int = N_THREADS,
+                 dispatch: Optional[str] = None):
         self.index = index
         self.image = image
         self.chip = chip
@@ -80,32 +101,58 @@ class Microengine:
         # Thread paused only by the simulation slice boundary (threads are
         # non-preemptive: it MUST continue before any other runs).
         self.resume_thread: Optional[Thread] = None
+        dispatch = dispatch if dispatch is not None else default_dispatch()
+        if dispatch not in DISPATCH_MODES:
+            raise ValueError("unknown dispatch mode %r (expected one of %s)"
+                             % (dispatch, ", ".join(DISPATCH_MODES)))
+        self.dispatch = dispatch
+        # Predecoded step program; bound lazily on first run so the
+        # loader has resolved symbols and created rings by then.
+        self._prog = None
+        self._exec = (self._run_thread_fast if dispatch == "fast"
+                      else self._run_thread)
+        if dispatch == "fast":
+            # Shadow the class method: the fast-mode slice loop fuses
+            # thread selection and dispatch (identical behavior).
+            self.run_slice = self._run_slice_fast
 
     # -- scheduling ----------------------------------------------------------------
 
     def ready_thread(self) -> Optional[Thread]:
-        if self.resume_thread is not None:
-            t = self.resume_thread
+        t = self.resume_thread
+        if t is not None:
             self.resume_thread = None
             if not t.halted:
                 return t
-        n = len(self.threads)
-        for k in range(n):
-            t = self.threads[(self.rr_next + k) % n]
-            if not t.halted and t.wake <= self.time:
-                self.rr_next = (t.index + 1) % n
+        threads = self.threads
+        n = len(threads)
+        k = self.rr_next
+        time = self.time
+        for _ in range(n):
+            t = threads[k]
+            k += 1
+            if k == n:
+                k = 0
+            if not t.halted and t.wake <= time:
+                self.rr_next = k
                 return t
         return None
 
     def next_wake(self) -> Optional[float]:
-        wakes = [t.wake for t in self.threads if not t.halted]
-        return min(wakes) if wakes else None
+        nxt = None
+        for t in self.threads:
+            if not t.halted:
+                w = t.wake
+                if nxt is None or w < nxt:
+                    nxt = w
+        return nxt
 
     def run_slice(self, max_cycles: float = 400.0) -> Optional[float]:
         """Run ready threads until none is ready or the slice budget is
         spent. Returns the absolute time of the next event on this ME
         (None when all threads halted)."""
         deadline = self.time + max_cycles
+        run_thread = self._exec
         while self.time < deadline:
             t = self.ready_thread()
             if t is None:
@@ -115,31 +162,157 @@ class Microengine:
                 if nxt > self.time:
                     self.idle_time += nxt - self.time
                     return nxt
-                continue
-            self._run_thread(t, deadline)
+                # No thread is ready yet the earliest wake is not in the
+                # future: looping would spin forever at a frozen clock.
+                # Surface the stuck state instead of hanging.
+                raise self._stuck_error(nxt)
+            run_thread(t, deadline)
         return self.time
+
+    def _stuck_error(self, nxt) -> SimError:
+        states = "; ".join(
+            "t%d pc=%d wake=%r%s" % (
+                th.index, th.pc, th.wake,
+                " halted" if th.halted else "")
+            for th in self.threads)
+        return SimError(
+            "ME%d scheduler stuck at time %r: no ready thread but "
+            "next wake %r is not in the future (%s)"
+            % (self.index, self.time, nxt, states))
+
+    def _run_slice_fast(self, max_cycles: float = 400.0) -> Optional[float]:
+        """Fast-mode twin of :meth:`run_slice`: the ready-thread scan
+        and the predecoded dispatch loop are fused inline so a thread
+        burst (run until it blocks or the slice ends) pays no
+        intermediate method calls. Installed as the instance's
+        ``run_slice`` when ``dispatch == "fast"``; behavior -- thread
+        order, idle accounting, stuck detection, counter effects -- is
+        identical to :meth:`run_slice` over :meth:`_run_thread_fast`."""
+        prog = self._prog
+        if prog is None:
+            prog = self._prog = self.image.predecoded(self.chip)
+        time = self.time
+        deadline = time + max_cycles
+        threads = self.threads
+        n = len(threads)
+        executed = 0
+        try:
+            while time < deadline:
+                t = self.resume_thread
+                if t is not None:
+                    self.resume_thread = None
+                    if t.halted:
+                        t = None
+                if t is None:
+                    # One fused pass: round-robin scan for a ready
+                    # thread, tracking the earliest wake of the
+                    # non-halted threads seen on the way. When no thread
+                    # is ready the scan covered all of them, so ``nxt``
+                    # is exactly next_wake().
+                    nxt = None
+                    k = self.rr_next
+                    for _ in range(n):
+                        th = threads[k]
+                        k += 1
+                        if k == n:
+                            k = 0
+                        if not th.halted:
+                            w = th.wake
+                            if w <= time:
+                                self.rr_next = k
+                                t = th
+                                break
+                            if nxt is None or w < nxt:
+                                nxt = w
+                    if t is None:
+                        # Nothing observes executed_instrs mid-slice, so
+                        # the single flush in the finally covers every
+                        # return.
+                        if nxt is None:
+                            return None
+                        if nxt > time:
+                            self.idle_time += nxt - time
+                            return nxt
+                        raise self._stuck_error(nxt)
+                while True:
+                    tm = prog[t.pc](self, t, deadline)
+                    executed += 1
+                    if tm is None:
+                        time = self.time
+                        break  # thread blocked / yielded / halted
+                    if tm >= deadline:
+                        self.resume_thread = t
+                        time = tm
+                        break
+            return time
+        finally:
+            self.executed_instrs += executed
 
     # -- execution --------------------------------------------------------------------
 
     def _run_thread(self, t: Thread, deadline: float) -> None:
-        """Execute ``t`` until it blocks, yields, or halts. If the slice
-        budget runs out first, the thread is remembered and continues
-        before any other (hardware threads are non-preemptive)."""
+        """Legacy dispatch core: execute ``t`` until it blocks, yields,
+        or halts. If the slice budget runs out first, the thread is
+        remembered and continues before any other (hardware threads are
+        non-preemptive).
+
+        ``time`` is charged before the handler runs (memory completion
+        times include the issue cycles) but rolled back if the handler
+        raises, and ``executed_instrs`` counts only successfully
+        dispatched instructions -- a failing instruction must not corrupt
+        either counter."""
         insns = self.insns
-        chip = self.chip
-        while True:
-            insn = insns[t.pc]
-            self.executed_instrs += 1
-            self.time += insn.cycles
-            cls = insn.__class__
-            handler = _HANDLERS.get(cls)
-            if handler is None:
-                raise SimError("cannot execute %r" % insn)
-            if handler(self, t, insn):
-                return  # thread blocked / yielded / halted
-            if self.time >= deadline:
-                self.resume_thread = t
-                return
+        executed = 0
+        cycles = 0
+        try:
+            while True:
+                insn = insns[t.pc]
+                cycles = 0
+                handler = _HANDLERS.get(insn.__class__)
+                if handler is None:
+                    raise SimError("cannot execute %r" % insn)
+                cycles = insn.cycles
+                self.time += cycles
+                stop = handler(self, t, insn)
+                executed += 1
+                if stop:
+                    return  # thread blocked / yielded / halted
+                if self.time >= deadline:
+                    self.resume_thread = t
+                    return
+        except SimError:
+            self.time -= cycles
+            raise
+        finally:
+            self.executed_instrs += executed
+
+    def _run_thread_fast(self, t: Thread, deadline: float) -> None:
+        """Predecoded dispatch core: a tight loop over fused
+        straight-line-run closures -- no per-step dict lookups, type
+        tests, or operand decoding. Each step executes one or more
+        instructions, charges its own cycles (checking ``deadline``
+        between fused instructions exactly like this loop does), and
+        returns the new ``time`` (``None`` when the thread blocked,
+        yielded, or halted). A failing step restores ``time``, ``pc``
+        and the executed count itself, so observable counter effects
+        match :meth:`_run_thread` exactly. The loop counts one
+        instruction per call; multi-instruction runs add the remainder
+        to ``executed_instrs`` directly."""
+        prog = self._prog
+        if prog is None:
+            prog = self._prog = self.image.predecoded(self.chip)
+        executed = 0
+        try:
+            while True:
+                tm = prog[t.pc](self, t, deadline)
+                executed += 1
+                if tm is None:
+                    return  # thread blocked / yielded / halted
+                if tm >= deadline:
+                    self.resume_thread = t
+                    return
+        finally:
+            self.executed_instrs += executed
 
     # -- operand helpers ----------------------------------------------------------------
 

@@ -49,6 +49,11 @@ class RxEngine:
         # zero: the free rings are sized to hold the whole pool).
         self.leaked_buffers = 0
         self.leaked_meta = 0
+        # Ring objects, bound on first delivery (the loader creates them
+        # after the engine is constructed).
+        self._rx_ring = None
+        self._meta_free = None
+        self._buf_free = None
 
     @property
     def dropped(self) -> int:
@@ -80,19 +85,25 @@ class RxEngine:
     def _deliver(self, tp) -> None:
         chip = self.chip
         tracer = chip.tracer
-        meta = chip.rings["ring.__meta_free"].get()
-        buf = chip.rings["ring.__buf_free"].get()
-        rx_ring = chip.rings["ring.rx"]
-        if meta == 0 or buf == 0 or len(rx_ring) >= rx_ring.capacity:
+        meta_free = self._meta_free
+        if meta_free is None:
+            meta_free = self._meta_free = chip.rings["ring.__meta_free"]
+            self._buf_free = chip.rings["ring.__buf_free"]
+            self._rx_ring = chip.rings["ring.rx"]
+        buf_free = self._buf_free
+        rx_ring = self._rx_ring
+        meta = meta_free.get()
+        buf = buf_free.get()
+        if meta == 0 or buf == 0 or len(rx_ring.items) >= rx_ring.capacity:
             if meta == 0 or buf == 0:
                 self.dropped_freelist += 1
                 cause = "freelist_empty"
             else:
                 self.dropped_ring_full += 1
                 cause = "ring_full"
-            if meta and not chip.rings["ring.__meta_free"].put(meta):
+            if meta and not meta_free.put(meta):
                 self.leaked_meta += 1
-            if buf and not chip.rings["ring.__buf_free"].put(buf):
+            if buf and not buf_free.put(buf):
                 self.leaked_buffers += 1
             if tracer is not None:
                 tracer.rx_drop(chip.now, cause)
@@ -118,23 +129,35 @@ class TxEngine:
         # Handles lost recycling into a full free ring (must stay zero).
         self.leaked_buffers = 0
         self.leaked_meta = 0
+        # Ring objects, bound on the first poll that finds them (the
+        # loader creates them after the engine is constructed).
+        self._tx_ring = None
+        self._buf_free = None
+        self._meta_free = None
 
     def poll(self, now: float) -> None:
-        ring = self.chip.rings["ring.tx"]
+        ring = self._tx_ring
+        if ring is None:
+            ring = self._tx_ring = self.chip.rings["ring.tx"]
+            self._buf_free = self.chip.rings["ring.__buf_free"]
+            self._meta_free = self.chip.rings["ring.__meta_free"]
+        if not ring.items or self.busy_until > now:
+            return
+        memory = self.chip.memory
         tracer = self.chip.tracer
-        while len(ring) and self.busy_until <= now:
+        while ring.items and self.busy_until <= now:
             meta = ring.get()
-            buf, head, length, port = self.chip.memory.read_words("sram", meta, 4)
-            payload = self.chip.memory.read_bytes("dram", buf + head, length)
+            buf, head, length, port = memory.read_words("sram", meta, 4)
+            payload = memory.read_bytes("dram", buf + head, length)
             if tracer is not None:
                 tracer.tx_packet(meta, now, port, length)
             self.records.append(TxRecord(now, payload, port))
             self.bytes_out += length
             tx_cycles = length * 8 / (self.line_gbps * GBPS) * ME_HZ
             self.busy_until = max(self.busy_until, now) + tx_cycles
-            if not self.chip.rings["ring.__buf_free"].put(buf):
+            if not self._buf_free.put(buf):
                 self.leaked_buffers += 1
-            if not self.chip.rings["ring.__meta_free"].put(meta):
+            if not self._meta_free.put(meta):
                 self.leaked_meta += 1
 
     def packets_out(self) -> int:

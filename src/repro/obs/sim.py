@@ -20,7 +20,11 @@ class SimSampler:
     """Samples ring occupancy and per-ME utilization over simulated time.
 
     Attach with ``chip.sampler = SimSampler(chip, registry)``; the chip
-    calls :meth:`sample` whenever simulated time passes ``next_t``.
+    calls :meth:`sample` once per elapsed ``next_t`` mark (looping to
+    catch up after sparse event periods), passing the mark time itself
+    so the series stays on a regular grid. Catch-up samples timestamp
+    the *current* chip state at the missed mark -- an explicit
+    approximation that beats silently skipping grid points.
     """
 
     def __init__(self, chip, registry: MetricsRegistry,

@@ -42,8 +42,14 @@ class LoaderError(Exception):
     pass
 
 
-def load_system(result, chip: IXP2400, n_mes: Optional[int] = None) -> LoadLayout:
-    """Install a CompileResult onto a chip; returns the layout."""
+def load_system(result, chip: IXP2400, n_mes: Optional[int] = None,
+                dispatch: Optional[str] = None) -> LoadLayout:
+    """Install a CompileResult onto a chip; returns the layout.
+
+    ``dispatch`` selects the ME dispatch core (``"fast"`` predecoded /
+    ``"legacy"``; None = process default). Symbols, rings and memory are
+    all placed before any ME is created, so the predecode stage -- which
+    runs lazily on first execution -- sees a fully resolved chip."""
     mod = result.mod
     plan = result.plan
     layout = LoadLayout()
@@ -119,7 +125,7 @@ def load_system(result, chip: IXP2400, n_mes: Optional[int] = None) -> LoadLayou
         layout.me_assignment[agg.name] = count
         image = result.images[agg.name]
         for _ in range(count):
-            chip.add_me(Microengine(me_index, image, chip))
+            chip.add_me(Microengine(me_index, image, chip, dispatch=dispatch))
             me_index += 1
 
     # XScale: control aggregates + boot-time init blocks.

@@ -40,6 +40,10 @@ class RunResult:
     # Rx drops by cause (their sum is rx_dropped).
     rx_dropped_freelist: int = 0
     rx_dropped_ring_full: int = 0
+    # Per-ME accounting, in ME index order (the fast-path equivalence
+    # suite asserts these match between dispatch cores bit for bit).
+    me_executed_instrs: List[int] = field(default_factory=list)
+    me_times: List[float] = field(default_factory=list)
 
     def tx_signature(self) -> List[bytes]:
         return sorted(self.tx_payloads)
@@ -57,6 +61,7 @@ def run_on_simulator(
     tracer: Optional[obs_trace.PacketTracer] = None,
     trace_json: Optional[str] = None,
     trace_events_jsonl: Optional[str] = None,
+    dispatch: Optional[str] = None,
 ) -> RunResult:
     """Load and run a compiled program; measure steady-state behavior.
 
@@ -76,6 +81,12 @@ def run_on_simulator(
     ``trace_events_jsonl`` writes the raw events (convert later with
     ``python -m repro.obs.trace export``). Tracing is pure observation:
     traced and untraced runs are bit-identical (tests/test_trace.py).
+
+    ``dispatch`` selects the ME dispatch core: ``"fast"`` (predecoded,
+    the default) or ``"legacy"`` (the reference interpreter). The two
+    produce bit-identical results (tests/test_fastpath.py); legacy is
+    kept for equivalence testing and the sim-speed benchmark's speedup
+    column.
     """
     reg = obs_metrics.get_registry()
     trace_json = trace_json or os.environ.get("REPRO_TRACE_JSON")
@@ -83,7 +94,7 @@ def run_on_simulator(
         tracer = obs_trace.PacketTracer()
     total_mes = n_mes if n_mes is not None else result.opts.num_mes
     chip = IXP2400(n_programmable_mes=total_mes)
-    layout = load_system(result, chip, n_mes=total_mes)
+    layout = load_system(result, chip, n_mes=total_mes, dispatch=dispatch)
 
     rx = RxEngine(chip, trace, offered_gbps=offered_gbps)
     tx = TxEngine(chip, line_gbps=offered_gbps)
@@ -143,6 +154,8 @@ def run_on_simulator(
         me_utilization=busy / total if total else 0.0,
         rx_dropped_freelist=rx.dropped_freelist,
         rx_dropped_ring_full=rx.dropped_ring_full,
+        me_executed_instrs=[me.executed_instrs for me in chip.mes],
+        me_times=[me.time for me in chip.mes],
     )
 
     if tracer is not None:

@@ -1,0 +1,200 @@
+"""Fast-path dispatch equivalence and the event-loop fixes that rode
+along with it.
+
+Covers:
+
+* legacy-vs-predecoded bit-identical equivalence on all three example
+  apps (Tx signatures, cycle counts, per-ME executed_instrs/times,
+  forwarding rate, access profile);
+* ``IXP2400.run`` advancing ``now`` to the granted deadline when it
+  exits early (repeated ``run_for`` drain loops must not re-grant the
+  same window);
+* the sampler catching up past *every* elapsed sample mark after a
+  sparse event period;
+* ``run_slice`` raising ``SimError`` (with thread states) instead of
+  busy-spinning when no thread is ready and the next wake is not in the
+  future;
+* the error path leaving ``time``/``executed_instrs``/``pc`` exactly as
+  they were before the failing instruction, in both dispatch cores.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.apps import get_app
+from repro.cg import isa
+from repro.cg.assemble import MEImage
+from repro.compiler import compile_baker
+from repro.ixp.chip import IXP2400
+from repro.ixp.microengine import Microengine, SimError
+from repro.options import options_for
+from repro.rts.system import run_on_simulator
+
+APPS = ("l3switch", "firewall", "mpls")
+MODES = ("legacy", "fast")
+
+
+def _mini_image(insns):
+    image = MEImage(name="test")
+    image.insns = insns
+    image.label_index = {"main": 0}
+    image.entry = 0
+    return image
+
+
+# -- equivalence ---------------------------------------------------------------------
+
+
+_compiled = {}
+
+
+def _compile(app_name):
+    if app_name not in _compiled:
+        app = get_app(app_name)
+        trace = app.make_trace(200, seed=5)
+        _compiled[app_name] = (
+            compile_baker(app.source, options_for("SWC"), trace), trace)
+    return _compiled[app_name]
+
+
+def _signature(run):
+    return (run.tx_signature(), run.sim_cycles,
+            tuple(run.me_executed_instrs), tuple(run.me_times),
+            run.forwarding_gbps, run.me_utilization,
+            run.rx_dropped_freelist, run.rx_dropped_ring_full,
+            run.access_profile.row())
+
+
+@pytest.mark.parametrize("app_name", APPS)
+def test_fast_dispatch_bit_identical(app_name):
+    result, trace = _compile(app_name)
+    runs = {
+        mode: run_on_simulator(result, trace, n_mes=4, warmup_packets=50,
+                               measure_packets=200, dispatch=mode)
+        for mode in MODES
+    }
+    assert runs["fast"].tx_signature(), "run forwarded no packets"
+    assert _signature(runs["legacy"]) == _signature(runs["fast"])
+
+
+def test_predecode_plan_reused_across_chips():
+    # The decode plans capture no chip-owned objects, so a second run
+    # (new chip, same symbol placement) must reuse the program instead
+    # of rebuilding it.
+    result, trace = _compile("l3switch")
+    for _ in range(2):
+        run_on_simulator(result, trace, n_mes=2, warmup_packets=10,
+                         measure_packets=30, dispatch="fast")
+    for image in result.images.values():
+        assert len(image._decode_plans) == 1
+
+
+def test_fast_dispatch_rejects_virtual_register():
+    # Punted instructions defer to the legacy handlers lazily: the error
+    # surfaces at execution, exactly like the legacy path.
+    insns = [isa.Immed(isa.VReg(), 1), isa.Halt()]
+    me = Microengine(0, _mini_image(insns), IXP2400(), n_threads=1,
+                     dispatch="fast")
+    with pytest.raises((SimError, AttributeError)):
+        me.run_slice(100)
+
+
+# -- IXP2400.run deadline accounting -------------------------------------------------
+
+
+def test_run_advances_now_to_deadline_with_future_event():
+    chip = IXP2400()
+    fired = []
+    chip.schedule(1000.0, lambda: fired.append(chip.now) and None)
+    chip.run(400.0)
+    assert chip.now == 400.0 and not fired
+    # The window was granted: a second drain must not re-grant it.
+    chip.run_for(400.0)
+    assert chip.now == 800.0 and not fired
+    chip.run_for(400.0)
+    assert chip.now == 1200.0 and fired == [1000.0]
+
+
+def test_run_advances_now_when_heap_drains():
+    chip = IXP2400()
+    chip.run(250.0)
+    assert chip.now == 250.0
+    chip.run_for(250.0)
+    assert chip.now == 500.0
+
+
+# -- sampler catch-up ----------------------------------------------------------------
+
+
+class _GridSampler:
+    def __init__(self, interval):
+        self.interval = interval
+        self.next_t = interval
+        self.samples = []
+
+    def sample(self, t):
+        self.samples.append(t)
+        self.next_t += self.interval
+
+
+def test_sampler_catches_up_past_all_elapsed_marks():
+    chip = IXP2400()
+    chip.sampler = _GridSampler(100.0)
+    # One lonely event far in the future: every grid mark in between
+    # must still be sampled when it finally dispatches.
+    chip.schedule(1000.0, lambda: None)
+    chip.run(2000.0)
+    assert chip.sampler.samples == [100.0 * i for i in range(1, 11)]
+
+
+# -- stuck-scheduler detection -------------------------------------------------------
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_run_slice_raises_instead_of_spinning(mode):
+    me = Microengine(0, _mini_image([isa.Halt()]), IXP2400(), n_threads=2,
+                     dispatch=mode)
+    for t in me.threads:
+        t.wake = math.nan  # never ready, never "in the future"
+    with pytest.raises(SimError, match="scheduler stuck") as err:
+        me.run_slice(400.0)
+    # The message carries every thread's state for debugging.
+    assert "t0 pc=" in str(err.value) and "t1 pc=" in str(err.value)
+
+
+# -- error-path counter integrity ----------------------------------------------------
+
+
+def _run_until_error(mode):
+    a0, a1 = isa.PReg("a", 0), isa.PReg("a", 1)
+    insns = [
+        isa.Immed(a0, 0xFFFF),         # 1-word immed, way past LM_WORDS
+        isa.LmRead(a1, a0, 0),         # dynamic out-of-range index
+        isa.Halt(),
+    ]
+    me = Microengine(0, _mini_image(insns), IXP2400(), n_threads=1,
+                     dispatch=mode)
+    with pytest.raises(SimError, match="Local Memory index"):
+        me.run_slice(10_000.0)
+    return me
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_error_path_preserves_counters(mode):
+    me = _run_until_error(mode)
+    t = me.threads[0]
+    # Only the Immed was dispatched: its cycle is charged, the failing
+    # LmRead's is not, and pc still points at the failing instruction.
+    assert me.time == 1.0
+    assert me.executed_instrs == 1
+    assert t.pc == 1
+    assert not t.halted
+
+
+def test_error_path_identical_across_modes():
+    legacy, fast = _run_until_error("legacy"), _run_until_error("fast")
+    assert (legacy.time, legacy.executed_instrs, legacy.threads[0].pc) == \
+           (fast.time, fast.executed_instrs, fast.threads[0].pc)
