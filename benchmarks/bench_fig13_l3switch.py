@@ -18,9 +18,9 @@ from benchmarks.figures_common import run_figure, assert_figure_shape
 APP = "l3switch"
 
 
-def test_fig13_l3switch_rates(compile_cache, report, benchmark, trace_sink):
+def test_fig13_l3switch_rates(sweep_cache, report, benchmark, trace_sink):
     series = benchmark.pedantic(
-        lambda: run_figure(APP, compile_cache, trace_sink),
+        lambda: run_figure(APP, sweep_cache, trace_sink),
         rounds=1, iterations=1)
     assert_figure_shape(APP, series, report, "fig13_l3switch",
                         best_at_6_min=2.3)

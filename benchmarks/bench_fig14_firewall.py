@@ -18,9 +18,9 @@ from benchmarks.figures_common import run_figure, assert_figure_shape
 APP = "firewall"
 
 
-def test_fig14_firewall_rates(compile_cache, report, benchmark, trace_sink):
+def test_fig14_firewall_rates(sweep_cache, report, benchmark, trace_sink):
     series = benchmark.pedantic(
-        lambda: run_figure(APP, compile_cache, trace_sink),
+        lambda: run_figure(APP, sweep_cache, trace_sink),
         rounds=1, iterations=1)
     assert_figure_shape(APP, series, report, "fig14_firewall",
                         best_at_6_min=0.8)

@@ -19,9 +19,9 @@ from benchmarks.figures_common import run_figure, assert_figure_shape
 APP = "mpls"
 
 
-def test_fig15_mpls_rates(compile_cache, report, benchmark, trace_sink):
+def test_fig15_mpls_rates(sweep_cache, report, benchmark, trace_sink):
     series = benchmark.pedantic(
-        lambda: run_figure(APP, compile_cache, trace_sink),
+        lambda: run_figure(APP, sweep_cache, trace_sink),
         rounds=1, iterations=1)
     # Our MPLS saturates its (dynamic-offset) memory accesses earlier
     # than the paper's, so the scaling requirement is relaxed here; the

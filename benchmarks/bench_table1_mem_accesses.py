@@ -13,13 +13,14 @@ Firewall unchanged.
 
 from __future__ import annotations
 
+from types import SimpleNamespace
+
 from benchmarks.figures_common import write_bench_json
-from repro import obs
-from repro.rts.system import run_on_simulator
+from repro.sweep import TABLE1_LEVELS, build_jobs, run_sweep
 
 # The paper's Table 1 rows, bottom-up: BASE, +O1, +PAC, +PHR, +SWC
 # (-O2 and SOAR do not change access counts and are omitted there).
-LEVELS = ["BASE", "O1", "PAC", "PHR", "SWC"]
+LEVELS = list(TABLE1_LEVELS)
 APPS = ["l3switch", "firewall", "mpls"]
 
 # Table 1 access counts ride along in the per-figure BENCH files.
@@ -29,21 +30,20 @@ HEADER = "%-9s %-5s | %8s %8s %8s | %8s %8s | %7s" % (
     "app", "level", "pktScr", "pktSRAM", "pktDRAM", "appScr", "appSRAM", "total")
 
 
-def measure_profiles(compile_cache):
+def measure_profiles(sweep_cache):
+    """Drive the Table 1 jobs through the sweep orchestrator (the same
+    code path as ``python -m repro.sweep``), inline."""
+    jobs = build_jobs(APPS, me_counts=[], table1=True)
+    sweep = run_sweep(jobs, n_procs=1, cache=sweep_cache)
     rows = {}
-    reg = obs.get_registry()
     for app in APPS:
-        for level in LEVELS:
-            result, trace = compile_cache(app, level)
-            with reg.labels(app=app, level=level):
-                run = run_on_simulator(result, trace, n_mes=2,
-                                       warmup_packets=60, measure_packets=250)
-            rows[(app, level)] = run.access_profile
+        for level, profile in sweep.profiles(app).items():
+            rows[(app, level)] = SimpleNamespace(**profile)
     return rows
 
 
-def test_table1_memory_accesses(compile_cache, report, benchmark):
-    rows = benchmark.pedantic(lambda: measure_profiles(compile_cache),
+def test_table1_memory_accesses(sweep_cache, report, benchmark):
+    rows = benchmark.pedantic(lambda: measure_profiles(sweep_cache),
                               rounds=1, iterations=1)
 
     lines = ["Table 1: dynamic memory accesses per packet", HEADER]

@@ -4,19 +4,20 @@ Each benchmark regenerates one table or figure from the paper's
 evaluation (section 6) on the simulated IXP2400 and writes its rows to
 ``benchmarks/results/<name>.txt`` (also echoed to stdout) so the numbers
 survive pytest's output capture.
+
+Imports resolve through package configuration only (``pythonpath =
+["src"]`` in pyproject.toml, or an explicit ``PYTHONPATH=src``): the
+old ``sys.path.insert`` hack lived only in the parent process, so
+spawn-based sweep worker processes could not import ``repro`` at all.
 """
 
 import os
-import sys
+import time
 
 import pytest
 
-sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
-
 from repro import obs
-from repro.apps import get_app
-from repro.compiler import compile_baker
-from repro.options import options_for
+from repro.sweep import CompileCache
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 METRICS_JSONL = os.path.join(RESULTS_DIR, "metrics.jsonl")
@@ -53,32 +54,48 @@ def trace_sink(request):
 
 @pytest.fixture(scope="session", autouse=True)
 def obs_registry():
-    """Benchmarks always run with observability on; the whole session's
-    metrics land in benchmarks/results/metrics.jsonl (render them with
-    ``python -m repro.obs.report``)."""
+    """Benchmarks always run with observability on; the session's
+    metrics are *appended* to benchmarks/results/metrics.jsonl under a
+    run header (mode "w" used to silently erase the previous run's
+    metrics). Render all runs with ``python -m repro.obs.report``."""
     reg = obs.enable()
     yield reg
     os.makedirs(RESULTS_DIR, exist_ok=True)
-    reg.dump_jsonl(METRICS_JSONL)
-    print("\nmetrics: %s (render: python -m repro.obs.report %s)"
-          % (METRICS_JSONL, METRICS_JSONL))
+    run_id = "bench-%s-p%d" % (
+        time.strftime("%Y%m%dT%H%M%S", time.gmtime()), os.getpid())
+    reg.dump_jsonl(METRICS_JSONL, append=True,
+                   header={"run": run_id, "source": "benchmarks"})
+    print("\nmetrics: %s (run %s; render: python -m repro.obs.report %s)"
+          % (METRICS_JSONL, run_id, METRICS_JSONL))
 
 
 @pytest.fixture(scope="session")
-def compile_cache():
-    """(app, level) -> (CompileResult, trace); compiled once per session.
-    Compile-time metrics are scoped under {app=..., level=...}."""
-    cache = {}
+def sweep_cache():
+    """The session's disk-backed compile-artifact cache
+    (:class:`repro.sweep.CompileCache`): each (app, level) compiles
+    once *ever* -- a warm cache makes benchmark sessions compile-free.
+    ``REPRO_COMPILE_CACHE=0`` disables the disk layer (in-process memo
+    still applies); ``REPRO_CACHE_DIR`` moves it."""
+    return CompileCache()
+
+
+@pytest.fixture(scope="session")
+def compile_cache(sweep_cache):
+    """(app, level) -> (CompileResult, trace); disk-cached.
+    Compile-time metrics are scoped under {app=..., level=...} when a
+    registry is enabled (sweep worker processes may run with it off,
+    so the label scope is guarded rather than assumed)."""
 
     def get(app_name: str, level: str):
-        key = (app_name, level)
-        if key not in cache:
-            app = get_app(app_name)
-            trace = app.make_trace(TRACE_PACKETS, seed=TRACE_SEED)
-            with obs.get_registry().labels(app=app_name, level=level):
-                result = compile_baker(app.source, options_for(level), trace)
-            cache[key] = (result, trace)
-        return cache[key]
+        reg = obs.get_registry()
+        if reg.enabled:
+            with reg.labels(app=app_name, level=level):
+                result, trace, _hit = sweep_cache.get_or_compile(
+                    app_name, level, TRACE_PACKETS, TRACE_SEED)
+        else:
+            result, trace, _hit = sweep_cache.get_or_compile(
+                app_name, level, TRACE_PACKETS, TRACE_SEED)
+        return result, trace
 
     return get
 

@@ -1,15 +1,19 @@
-"""Shared driver for the Figures 13-15 forwarding-rate benchmarks."""
+"""Shared driver for the Figures 13-15 forwarding-rate benchmarks.
+
+The actual grid execution lives in :mod:`repro.sweep` -- the same
+orchestrator behind ``python -m repro.sweep`` -- so the pytest
+benchmarks and the CLI produce identical ``BENCH_*.json`` files from
+one code path. This module keeps the per-figure shape assertions.
+"""
 
 from __future__ import annotations
 
-import json
 import os
 from typing import Callable, Dict, List, Optional
 
 from repro.options import LEVEL_ORDER
-from repro.rts.system import run_on_simulator
-
-ME_COUNTS = [1, 2, 3, 4, 5, 6]
+from repro.sweep import build_jobs, merge_bench_json, run_sweep
+from repro.sweep.orchestrator import ME_COUNTS  # noqa: F401  (re-export)
 
 #: BENCH_*.json files land at the repo root so the perf trajectory
 #: accumulates across PRs (ROADMAP's BENCH_* convention).
@@ -19,56 +23,30 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 def write_bench_json(figure: str, payload: Dict) -> str:
     """Merge ``payload`` into ``BENCH_<figure>.json`` at the repo root.
 
-    Merge-on-write (top-level keys; dict values update key-wise) lets the
-    rate benchmarks and the Table 1 access-count benchmark both
-    contribute to one file regardless of test execution order. Output is
+    Delegates to :func:`repro.sweep.merge_bench_json`: top-level keys
+    merge key-wise (dict values update), ``kind``/``figure`` are forced
+    after the merge, and the read-merge-write runs atomically under a
+    file lock so concurrent writers cannot interleave. Output is
     deterministic: stable key order, no timestamps. ``python -m
     repro.obs.diff old new`` compares two of these files.
     """
     path = os.path.join(REPO_ROOT, "BENCH_%s.json" % figure)
-    data: Dict = {"kind": "bench", "figure": figure}
-    if os.path.exists(path):
-        try:
-            with open(path) as fh:
-                existing = json.load(fh)
-            if isinstance(existing, dict):
-                data.update(existing)
-        except (OSError, json.JSONDecodeError):
-            pass  # rewrite a corrupt file from scratch
-    for key, value in payload.items():
-        if isinstance(value, dict) and isinstance(data.get(key), dict):
-            data[key].update(value)
-        else:
-            data[key] = value
-    with open(path, "w") as fh:
-        json.dump(data, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    return path
+    return merge_bench_json(path, figure, payload)
 
 
-def run_figure(app_name: str, compile_cache,
+def run_figure(app_name: str, sweep_cache,
                trace_sink: Optional[Callable] = None) -> Dict[str, List[float]]:
-    """level -> [rate at 1..6 MEs] (Gbps).
+    """level -> [rate at 1..6 MEs] (Gbps), via the sweep orchestrator.
 
-    ``trace_sink(name)`` (the benchmark ``--packet-trace`` fixture) selects a
-    ``.trace.json`` output path; the fully-optimized run at the highest
-    ME count is the one traced.
+    ``sweep_cache`` is the session :class:`repro.sweep.CompileCache`
+    (disk-backed: each (app, level) compiles once ever, not once per
+    session). ``trace_sink(name)`` (the benchmark ``--packet-trace``
+    fixture) selects a ``.trace.json`` output path; the fully-optimized
+    run at the highest ME count is the one traced.
     """
-    series: Dict[str, List[float]] = {}
-    for level in LEVEL_ORDER:
-        result, trace = compile_cache(app_name, level)
-        rates = []
-        for n_mes in ME_COUNTS:
-            trace_json = None
-            if (trace_sink is not None and level == LEVEL_ORDER[-1]
-                    and n_mes == ME_COUNTS[-1]):
-                trace_json = trace_sink(app_name)
-            run = run_on_simulator(result, trace, n_mes=n_mes,
-                                   warmup_packets=60, measure_packets=220,
-                                   trace_json=trace_json)
-            rates.append(round(run.forwarding_gbps, 3))
-        series[level] = rates
-    return series
+    jobs = build_jobs([app_name], table1=False, trace_sink=trace_sink)
+    sweep = run_sweep(jobs, n_procs=1, cache=sweep_cache)
+    return sweep.series(app_name)
 
 
 def assert_figure_shape(app_name: str, series: Dict[str, List[float]],

@@ -52,6 +52,21 @@ class MEImage:
         return "%s: %d instrs (%d control-store words), %d functions" % (
             self.name, len(self.insns), self.code_size, len(self.functions))
 
+    # Predecode caches hold weak chip references and exec-generated
+    # closures -- both per-process artifacts that cannot (and must not)
+    # cross a pickle boundary. A cached image deserializes with empty
+    # caches and rebuilds them lazily on first dispatch.
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["decode_cache"] = None
+        state["_decode_plans"] = []
+        state["_decode_fp"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self.decode_cache = weakref.WeakKeyDictionary()
+
     def _fingerprint(self) -> int:
         # Content hash over the canonical formatting (plus resolved
         # branch targets, which format_insn omits): in-place edits of

@@ -28,6 +28,7 @@ from repro.obs.metrics import (
     enable,
     get_registry,
     is_enabled,
+    scoped_registry,
 )
 from repro.obs.sim import SimSampler, record_run_summary
 from repro.obs.telemetry import ir_counts, record_ir_stage, record_opt_results
@@ -41,6 +42,7 @@ _TRACE_EXPORTS = frozenset([
     "capture_compile_spans",
     "compile_stage",
     "drain_compile_spans",
+    "inject_compile_spans",
     "record_trace_summary",
 ])
 
@@ -75,6 +77,7 @@ __all__ = [
     "capture_compile_spans",
     "compile_stage",
     "drain_compile_spans",
+    "inject_compile_spans",
     "record_trace_summary",
     "NULL",
     "Counter",
@@ -102,4 +105,5 @@ __all__ = [
     "record_ir_stage",
     "record_opt_results",
     "record_run_summary",
+    "scoped_registry",
 ]

@@ -125,6 +125,19 @@ class DecisionLedger:
     def records(self) -> List[Dict[str, object]]:
         return [d.to_record() for d in self.decisions]
 
+    def merge_records(self, records: List[Dict[str, object]]) -> None:
+        """Append JSON-ready decision records (a worker process's
+        :meth:`records` slice shipped across a pickle boundary) with
+        sequence numbers re-based onto this ledger."""
+        if not self.enabled:
+            return
+        for rec in records:
+            self.decisions.append(Decision(
+                len(self.decisions), rec.get("pass", "?"),
+                rec.get("subject", "?"), rec.get("verdict", "?"),
+                rec.get("reason", ""), dict(rec.get("evidence") or {}),
+                rec.get("loc")))
+
     def clear(self) -> None:
         self.decisions = []
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 import json
 import os
 import time
+from contextlib import contextmanager
 from typing import Dict, Iterable, List, Optional, Tuple
 
 
@@ -302,14 +303,74 @@ class MetricsRegistry:
                                  sorted((r.get("labels") or {}).items())))
         return recs
 
-    def dump_jsonl(self, path: str) -> str:
+    def dump_jsonl(self, path: str, append: bool = False,
+                   header: Optional[Dict[str, object]] = None) -> str:
+        """Write the registry's records as JSONL.
+
+        ``append=True`` adds this dump to an existing file instead of
+        clobbering it (two runs in one session must not silently erase
+        each other); ``header`` is written first as a ``run_header``
+        record so :mod:`repro.obs.report` can split a multi-run file
+        back into per-run scopes.
+        """
         d = os.path.dirname(os.path.abspath(path))
         if d:
             os.makedirs(d, exist_ok=True)
-        with open(path, "w") as fh:
+        with open(path, "a" if append else "w") as fh:
+            if header is not None:
+                rec = {"type": "run_header"}
+                rec.update(header)
+                fh.write(json.dumps(rec) + "\n")
             for rec in self.records():
                 fh.write(json.dumps(rec) + "\n")
         return path
+
+    # -- cross-registry merge ----------------------------------------------------
+
+    def merge_records(self, records: Iterable[Dict[str, object]],
+                      **extra_labels) -> None:
+        """Fold JSON-ready records (another registry's :meth:`records`,
+        possibly shipped across a process boundary) into this registry.
+
+        Counters and timers accumulate, histograms combine their
+        summaries, series append their samples, gauges take the merged
+        value (last write wins) -- the same outcome as if the metrics
+        had been recorded here directly. ``extra_labels`` tag every
+        merged record (the sweep orchestrator labels each worker's
+        records with its job key so merged scopes stay disjoint).
+        """
+        if not self.enabled:
+            return
+        for rec in records:
+            rtype = rec.get("type")
+            labels = dict(rec.get("labels") or {})
+            if extra_labels:
+                labels.update(extra_labels)
+            with self.labels(**labels):
+                if rtype == "counter":
+                    self.counter(rec["name"]).inc(rec.get("value", 0))
+                elif rtype == "gauge":
+                    self.gauge(rec["name"]).set(rec.get("value", 0.0))
+                elif rtype == "timer":
+                    t = self.timer(rec["name"])
+                    t.count += rec.get("count", 0)
+                    t.total_s += rec.get("total_s", 0.0)
+                elif rtype == "histogram":
+                    h = self.histogram(rec["name"])
+                    h.count += rec.get("count", 0)
+                    h.total += rec.get("total", 0.0)
+                    for bound, pick in (("min", min), ("max", max)):
+                        v = rec.get(bound)
+                        if v is not None:
+                            cur = getattr(h, bound)
+                            setattr(h, bound,
+                                    v if cur is None else pick(cur, v))
+                elif rtype == "series":
+                    s = self.series(rec["name"])
+                    for t_v in rec.get("samples") or []:
+                        s.samples.append((t_v[0], t_v[1]))
+                # Unknown types (e.g. run_header) are skipped: a merge
+                # must accept whole JSONL files.
 
     def clear(self) -> None:
         self._metrics.clear()
@@ -337,3 +398,26 @@ def disable() -> MetricsRegistry:
 
 def is_enabled() -> bool:
     return _GLOBAL.enabled
+
+
+@contextmanager
+def scoped_registry(registry: MetricsRegistry):
+    """Temporarily install ``registry`` as the process-global registry.
+
+    Every instrumentation site in the compiler and simulator fetches
+    the global registry at call time, so swapping it for the duration
+    of one job gives that job a private, mergeable metric set without
+    threading a registry argument through every layer. The sweep
+    orchestrator runs each (app, level, n_mes) job inside one of these
+    so a job's records can be shipped to the parent and merged
+    deterministically -- and so an in-process (``--jobs 1``) run leaves
+    the session's accumulated metrics untouched, exactly like a worker
+    process would.
+    """
+    global _GLOBAL
+    prev = _GLOBAL
+    _GLOBAL = registry
+    try:
+        yield registry
+    finally:
+        _GLOBAL = prev

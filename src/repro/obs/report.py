@@ -48,6 +48,38 @@ def load_records(path: str) -> List[dict]:
     return records
 
 
+def split_runs(records: List[dict]) -> List[dict]:
+    """Resolve a (possibly) multi-run JSONL stream into plain metric
+    records.
+
+    Registry dumps appended to one file (``dump_jsonl(append=True,
+    header=...)``) are delimited by ``run_header`` records. When a file
+    holds more than one run, each metric record gains a ``run`` label
+    (the header's ``run`` id, or a 1-based ordinal) so the scope
+    grouping keeps runs apart instead of silently interleaving them;
+    single-run files render exactly as before. Header records are
+    consumed either way.
+    """
+    headers = [r for r in records if r.get("type") == "run_header"]
+    multi = len(headers) > 1 or (headers and
+                                 records[0].get("type") != "run_header")
+    out: List[dict] = []
+    run_id: Optional[str] = None
+    ordinal = 0
+    for rec in records:
+        if rec.get("type") == "run_header":
+            ordinal += 1
+            run_id = str(rec.get("run") or "run%d" % ordinal)
+            continue
+        if multi:
+            rec = dict(rec)
+            labels = dict(rec.get("labels") or {})
+            labels["run"] = run_id if run_id is not None else "run0"
+            rec["labels"] = labels
+        out.append(rec)
+    return out
+
+
 def _scope_key(rec: dict) -> Tuple:
     labels = rec.get("labels") or {}
     return tuple(sorted((k, v) for k, v in labels.items()
@@ -378,6 +410,7 @@ def _scope_json(recs: List[dict]) -> dict:
 def render_json(records: List[dict],
                 only: Optional[Dict[str, str]] = None) -> dict:
     """Machine-readable counterpart of :func:`render`."""
+    records = split_runs(records)
     scopes: "OrderedDict[Tuple, List[dict]]" = OrderedDict()
     for rec in records:
         if only:
@@ -396,6 +429,7 @@ def render_json(records: List[dict],
 
 def render(records: List[dict],
            only: Optional[Dict[str, str]] = None) -> str:
+    records = split_runs(records)
     scopes: "OrderedDict[Tuple, List[dict]]" = OrderedDict()
     for rec in records:
         if only:

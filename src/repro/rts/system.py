@@ -62,6 +62,7 @@ def run_on_simulator(
     trace_json: Optional[str] = None,
     trace_events_jsonl: Optional[str] = None,
     dispatch: Optional[str] = None,
+    registry: Optional[obs_metrics.MetricsRegistry] = None,
 ) -> RunResult:
     """Load and run a compiled program; measure steady-state behavior.
 
@@ -87,7 +88,21 @@ def run_on_simulator(
     produce bit-identical results (tests/test_fastpath.py); legacy is
     kept for equivalence testing and the sim-speed benchmark's speedup
     column.
+
+    ``registry`` runs the whole load+simulate under a private metrics
+    registry (installed process-globally for the duration, so loader
+    and chip instrumentation see it too). The sweep orchestrator uses
+    this to give every job its own mergeable metric set; measured
+    numbers are unaffected.
     """
+    if registry is not None:
+        with obs_metrics.scoped_registry(registry):
+            return run_on_simulator(
+                result, trace, n_mes=n_mes, warmup_packets=warmup_packets,
+                measure_packets=measure_packets, offered_gbps=offered_gbps,
+                max_cycles=max_cycles, metrics_jsonl=metrics_jsonl,
+                tracer=tracer, trace_json=trace_json,
+                trace_events_jsonl=trace_events_jsonl, dispatch=dispatch)
     reg = obs_metrics.get_registry()
     trace_json = trace_json or os.environ.get("REPRO_TRACE_JSON")
     if tracer is None and (trace_json or trace_events_jsonl):

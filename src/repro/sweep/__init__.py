@@ -1,0 +1,72 @@
+"""Process-parallel evaluation-sweep orchestrator with compile caching.
+
+One command regenerates the paper's whole evaluation (Figures 13-15
+rate curves + Table 1 access counts)::
+
+    python -m repro.sweep --apps l3switch,firewall,mpls --jobs 4
+
+Guarantees (see DESIGN.md section 9):
+
+* ``--jobs 1`` and ``--jobs N`` produce **bit-identical**
+  ``BENCH_*.json`` files -- results merge in job-key order, never
+  completion order, and every job runs under a private metrics
+  registry whether inline or in a worker process.
+* Each (app, level) compiles **once ever**: artifacts persist in an
+  on-disk cache keyed by a content fingerprint (Baker source, options,
+  trace parameters, compiler version), shared by CLI runs, pytest
+  benchmark sessions, and pool workers alike.
+"""
+
+from repro.sweep.benchio import merge_bench_json
+from repro.sweep.cache import (
+    CompileCache,
+    cache_key,
+    compiler_fingerprint,
+    default_cache_dir,
+    repo_root,
+)
+from repro.sweep.orchestrator import (
+    FIG_BY_APP,
+    ME_COUNTS,
+    RATE_MEASURE,
+    RATE_WARMUP,
+    TABLE1_LEVELS,
+    TABLE1_MEASURE,
+    TABLE1_N_MES,
+    TABLE1_WARMUP,
+    TRACE_PACKETS,
+    TRACE_SEED,
+    JobResult,
+    SweepJob,
+    SweepResult,
+    WorkerConfig,
+    build_jobs,
+    execute_job,
+    run_sweep,
+)
+
+__all__ = [
+    "CompileCache",
+    "FIG_BY_APP",
+    "JobResult",
+    "ME_COUNTS",
+    "RATE_MEASURE",
+    "RATE_WARMUP",
+    "SweepJob",
+    "SweepResult",
+    "TABLE1_LEVELS",
+    "TABLE1_MEASURE",
+    "TABLE1_N_MES",
+    "TABLE1_WARMUP",
+    "TRACE_PACKETS",
+    "TRACE_SEED",
+    "WorkerConfig",
+    "build_jobs",
+    "cache_key",
+    "compiler_fingerprint",
+    "default_cache_dir",
+    "execute_job",
+    "merge_bench_json",
+    "repo_root",
+    "run_sweep",
+]

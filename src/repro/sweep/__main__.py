@@ -1,0 +1,164 @@
+"""CLI: regenerate the paper's evaluation grid in one command.
+
+Usage::
+
+    python -m repro.sweep --apps l3switch,firewall,mpls --jobs 4
+
+writes ``BENCH_fig13.json`` / ``BENCH_fig14.json`` / ``BENCH_fig15.json``
+(rate curves + Table 1 access counts) at the repo root, appends the
+sweep's metrics to ``benchmarks/results/metrics.jsonl`` under a run
+header, and prints a per-figure summary. ``--jobs 1`` and ``--jobs N``
+output is bit-identical; compare two runs with
+``python -m repro.obs.diff`` (exit 2 on regression).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro import obs
+from repro.obs import ledger as obs_ledger
+from repro.options import LEVEL_ORDER
+from repro.sweep.cache import CompileCache, repo_root
+from repro.sweep.orchestrator import (
+    ME_COUNTS,
+    RATE_MEASURE,
+    RATE_WARMUP,
+    TABLE1_MEASURE,
+    TRACE_PACKETS,
+    TRACE_SEED,
+    build_jobs,
+    run_sweep,
+)
+
+DEFAULT_APPS = "l3switch,firewall,mpls"
+
+
+def _csv(value: str):
+    return [item.strip() for item in value.split(",") if item.strip()]
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.sweep",
+        description="Regenerate the Figures 13-15 / Table 1 evaluation "
+                    "sweep, process-parallel and compile-cached.")
+    ap.add_argument("--apps", default=DEFAULT_APPS,
+                    help="comma-separated apps (default: %(default)s)")
+    ap.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="worker processes; 1 runs inline and is "
+                         "bit-identical to N>1 (default: %(default)s)")
+    ap.add_argument("--levels", default=",".join(LEVEL_ORDER),
+                    help="comma-separated optimization levels "
+                         "(default: %(default)s)")
+    ap.add_argument("--me-counts", default=",".join(map(str, ME_COUNTS)),
+                    help="comma-separated ME counts for the rate curves "
+                         "(default: %(default)s)")
+    ap.add_argument("--no-table1", action="store_true",
+                    help="skip the Table 1 access-count runs")
+    ap.add_argument("--warmup", type=int, default=RATE_WARMUP,
+                    help="warm-up packets per rate run (default: "
+                         "%(default)s)")
+    ap.add_argument("--measure", type=int, default=RATE_MEASURE,
+                    help="measured packets per rate run (default: "
+                         "%(default)s)")
+    ap.add_argument("--table1-measure", type=int, default=TABLE1_MEASURE,
+                    help="measured packets per Table 1 run (default: "
+                         "%(default)s)")
+    ap.add_argument("--trace-packets", type=int, default=TRACE_PACKETS,
+                    help="profiling-trace packets per compile (default: "
+                         "%(default)s)")
+    ap.add_argument("--trace-seed", type=int, default=TRACE_SEED,
+                    help="profiling-trace seed (default: %(default)s)")
+    ap.add_argument("--out-dir", default=None, metavar="DIR",
+                    help="directory for BENCH_*.json (default: repo root)")
+    ap.add_argument("--cache-dir", default=None, metavar="DIR",
+                    help="compile-artifact cache directory (default: "
+                         "$REPRO_CACHE_DIR or <repo>/.repro_cache/compile)")
+    ap.add_argument("--no-cache", action="store_true",
+                    help="bypass the on-disk compile cache")
+    ap.add_argument("--metrics-jsonl", default=None, metavar="PATH",
+                    help="metrics output (appended under a run header; "
+                         "default: benchmarks/results/metrics.jsonl)")
+    ap.add_argument("--ledger", action="store_true",
+                    help="record compile decisions (repro.obs.ledger) "
+                         "during any cache-miss compiles")
+    args = ap.parse_args(argv)
+
+    apps = _csv(args.apps)
+    levels = _csv(args.levels)
+    me_counts = [int(n) for n in _csv(args.me_counts)]
+    bad = [lv for lv in levels if lv not in LEVEL_ORDER]
+    if bad:
+        ap.error("unknown levels: %s (choose from %s)"
+                 % (",".join(bad), ",".join(LEVEL_ORDER)))
+    if args.jobs < 1:
+        ap.error("--jobs must be >= 1")
+
+    reg = obs.enable()
+    if args.ledger:
+        obs_ledger.enable()
+    cache = CompileCache(args.cache_dir, enabled=not args.no_cache)
+    jobs = build_jobs(apps, levels=levels, me_counts=me_counts,
+                      table1=not args.no_table1,
+                      rate_warmup=args.warmup, rate_measure=args.measure,
+                      table1_measure=args.table1_measure)
+    print("sweep: %d jobs (%s x %s x MEs %s%s), %d process%s, cache %s"
+          % (len(jobs), ",".join(apps), ",".join(levels),
+             ",".join(map(str, me_counts)),
+             "" if args.no_table1 else " + table1",
+             args.jobs, "" if args.jobs == 1 else "es",
+             cache.cache_dir if cache.enabled else "OFF"))
+
+    from repro.sweep.orchestrator import WorkerConfig
+
+    cfg = WorkerConfig(cache_dir=cache.cache_dir, use_cache=cache.enabled,
+                       trace_packets=args.trace_packets,
+                       trace_seed=args.trace_seed, obs=True,
+                       ledger=args.ledger)
+    sweep = run_sweep(jobs, n_procs=args.jobs, cache=cache, cfg=cfg,
+                      merge_into=reg)
+
+    out_dir = args.out_dir or repo_root()
+    os.makedirs(out_dir, exist_ok=True)
+    paths = sweep.write_bench_files(out_dir)
+
+    for app in apps:
+        series = sweep.series(app)
+        if not series:
+            continue
+        print("\n%s: forwarding rate (Gbps) vs MEs %s"
+              % (app, ",".join(map(str, me_counts))))
+        for level in [lv for lv in LEVEL_ORDER if lv in series]:
+            print("  %-5s %s" % (level,
+                                 "  ".join("%6.2f" % r
+                                           for r in series[level])))
+
+    metrics_path = args.metrics_jsonl or os.path.join(
+        repo_root(), "benchmarks", "results", "metrics.jsonl")
+    run_id = "sweep-%s-p%d" % (
+        time.strftime("%Y%m%dT%H%M%S", time.gmtime()), os.getpid())
+    reg.dump_jsonl(metrics_path, append=True,
+                   header={"run": run_id,
+                           "source": "repro.sweep",
+                           "jobs": args.jobs,
+                           "apps": apps, "levels": levels})
+
+    print("\n%d jobs in %.1fs wall (%d process%s); compile cache: "
+          "%d hit%s, %d compile%s"
+          % (len(sweep.jobs), sweep.wall_s, sweep.n_procs,
+             "" if sweep.n_procs == 1 else "es",
+             cache.hits, "" if cache.hits == 1 else "s",
+             cache.misses, "" if cache.misses == 1 else "s"))
+    for path in paths:
+        print("wrote %s" % path)
+    print("metrics: %s (run %s; render: python -m repro.obs.report %s)"
+          % (metrics_path, run_id, metrics_path))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

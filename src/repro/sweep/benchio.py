@@ -1,0 +1,96 @@
+"""Safe merge-writes for the repo-root ``BENCH_*.json`` files.
+
+Multiple producers contribute to one bench file (the per-figure rate
+benchmarks add ``rates``, the Table 1 benchmark adds ``mem_accesses``,
+the sweep orchestrator writes both), in any order, possibly from
+concurrent processes. Two historical bugs lived here:
+
+* ``data.update(existing)`` let stale top-level keys from an existing
+  file shadow the fresh ``kind``/``figure`` fields -- a file touched by
+  an older schema could permanently mislabel itself. The merge now
+  *forces* ``kind``/``figure`` after folding in existing content.
+* The read-merge-write cycle was non-atomic: two concurrent writers
+  could interleave (both read, both write) and silently lose one
+  side's keys, and a reader could observe a half-written file. Writes
+  now go through a tempfile + :func:`os.replace` under an advisory
+  file lock, so concurrent merges serialize and readers only ever see
+  complete documents.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from contextlib import contextmanager
+from typing import Dict
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+
+@contextmanager
+def locked(path: str):
+    """Exclusive advisory lock scoped to ``path`` (via a ``.lock``
+    sibling, so the data file itself can be atomically replaced while
+    locked). Degrades to a no-op where ``fcntl`` is unavailable."""
+    if fcntl is None:  # pragma: no cover - non-POSIX fallback
+        yield
+        return
+    fd = os.open(path + ".lock", os.O_CREAT | os.O_RDWR, 0o644)
+    try:
+        fcntl.flock(fd, fcntl.LOCK_EX)
+        yield
+    finally:
+        fcntl.flock(fd, fcntl.LOCK_UN)
+        os.close(fd)
+
+
+def _atomic_write_json(path: str, data: Dict) -> None:
+    d = os.path.dirname(os.path.abspath(path))
+    os.makedirs(d, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=d, prefix=os.path.basename(path) + ".",
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(data, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def merge_bench_json(path: str, figure: str, payload: Dict) -> str:
+    """Merge ``payload`` into the bench file at ``path``.
+
+    Top-level keys merge key-wise when both sides are dicts, otherwise
+    the new value wins; ``kind``/``figure`` are stamped *after* the
+    merge so nothing in an existing file can shadow them. The whole
+    read-merge-write runs atomically under :func:`locked`. Output is
+    deterministic: stable key order, no timestamps.
+    """
+    with locked(path):
+        data: Dict = {}
+        if os.path.exists(path):
+            try:
+                with open(path) as fh:
+                    existing = json.load(fh)
+                if isinstance(existing, dict):
+                    data.update(existing)
+            except (OSError, json.JSONDecodeError):
+                pass  # rewrite a corrupt file from scratch
+        for key, value in payload.items():
+            if isinstance(value, dict) and isinstance(data.get(key), dict):
+                data[key].update(value)
+            else:
+                data[key] = value
+        data["kind"] = "bench"
+        data["figure"] = figure
+        _atomic_write_json(path, data)
+    return path

@@ -1,0 +1,323 @@
+"""The sweep orchestrator's core guarantees.
+
+The headline property is determinism across process counts: a sweep at
+``--jobs 1`` must produce bit-identical BENCH_*.json files (rates *and*
+Table 1 access counts) to the same sweep at ``--jobs N``. The rest pins
+down the on-disk compile cache (miss-then-hit, corruption tolerance),
+the bench-file merge fixes (stale ``kind``/``figure`` shadowing,
+concurrent writers), metric-record merging, and multi-run metrics
+files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.obs import diff as obs_diff
+from repro.obs import ledger as obs_ledger
+from repro.obs import metrics as obs_metrics
+from repro.obs import report as obs_report
+from repro.sweep import (CompileCache, SweepJob, build_jobs, cache_key,
+                         merge_bench_json, run_sweep)
+
+APP = "l3switch"
+LEVELS = ["BASE", "SWC"]
+ME_COUNTS = [1, 2]
+
+# Small steady-state windows keep the grid fast; determinism does not
+# depend on window size (the simulator is cycle-deterministic).
+WINDOWS = dict(rate_warmup=30, rate_measure=60,
+               table1_warmup=30, table1_measure=60)
+
+
+def _small_jobs():
+    return build_jobs([APP], levels=LEVELS, me_counts=ME_COUNTS,
+                      table1=True, **WINDOWS)
+
+
+def _read(path):
+    with open(path, "rb") as fh:
+        return fh.read()
+
+
+# -- determinism across process counts (the tentpole guarantee) ------------------
+
+
+def test_jobs1_vs_jobs2_bit_identical(tmp_path):
+    """One process and two processes -- each on a cold cache -- must
+    produce byte-identical BENCH output, and the perf-diff gate must
+    see zero regression at tolerance 0."""
+    out1, out2 = tmp_path / "j1", tmp_path / "j2"
+    out1.mkdir(), out2.mkdir()
+
+    sweep1 = run_sweep(_small_jobs(), n_procs=1,
+                       cache=CompileCache(str(tmp_path / "cache1")))
+    paths1 = sweep1.write_bench_files(str(out1))
+
+    sweep2 = run_sweep(_small_jobs(), n_procs=2,
+                       cache=CompileCache(str(tmp_path / "cache2")))
+    paths2 = sweep2.write_bench_files(str(out2))
+
+    assert [os.path.basename(p) for p in paths1] == ["BENCH_fig13.json"]
+    assert _read(paths1[0]) == _read(paths2[0])
+
+    # Structured views agree too, not just the serialized files.
+    assert sweep1.series(APP) == sweep2.series(APP)
+    assert sweep1.bench_payloads() == sweep2.bench_payloads()
+
+    # And the CI regression gate sees nothing even at zero tolerance.
+    text, code = obs_diff.run_diff(paths1[0], paths2[0], tolerance=0.0)
+    assert code == 0, text
+
+
+def test_sweep_results_ordered_by_job_key(tmp_path):
+    """Results come back in sort-key order regardless of submission
+    order, which is what makes the merge deterministic."""
+    jobs = list(reversed(_small_jobs()))
+    sweep = run_sweep(jobs, n_procs=1,
+                      cache=CompileCache(str(tmp_path / "cache")))
+    keys = [jr.job.sort_key() for jr in sweep.jobs]
+    assert keys == sorted(keys)
+
+
+def test_sweep_merges_worker_metrics(tmp_path):
+    """A parallel sweep folds worker metric records into the parent
+    registry: compile-cache counters recorded in worker processes must
+    be visible here after the sweep."""
+    reg = obs_metrics.MetricsRegistry(enabled=True)
+    with obs_metrics.scoped_registry(reg):
+        run_sweep(_small_jobs(), n_procs=2,
+                  cache=CompileCache(str(tmp_path / "cache")))
+    recs = [r for r in reg.records() if r["name"] == "sweep.compile_cache"]
+    assert recs, "worker cache counters were not merged back"
+    by_result = {}
+    for r in recs:
+        by_result.setdefault(r["labels"]["result"], 0)
+        by_result[r["labels"]["result"]] += r["value"]
+    # Cold cache: one miss per (app, level) from the warm phase, then
+    # every job hits.
+    assert by_result.get("miss", 0) == len(LEVELS)
+    assert by_result.get("hit", 0) == len(_small_jobs())
+
+
+# -- the on-disk compile cache ---------------------------------------------------
+
+
+def test_cache_miss_then_hit_skips_recompilation(tmp_path):
+    cache = CompileCache(str(tmp_path / "cache"))
+    result1, trace1, hit1 = cache.get_or_compile(APP, "BASE", 50, 5)
+    assert hit1 is False and cache.misses == 1
+
+    # A *fresh* cache object (new process, new session) must hit disk.
+    cache2 = CompileCache(str(tmp_path / "cache"))
+    result2, trace2, hit2 = cache2.get_or_compile(APP, "BASE", 50, 5)
+    assert hit2 is True and cache2.hits == 1 and cache2.misses == 0
+
+    # The artifact round-trips: same image count, same packet trace.
+    assert len(result2.images) == len(result1.images)
+    assert len(trace2.packets) == len(trace1.packets)
+
+
+def test_cache_key_sensitivity(tmp_path):
+    from repro.apps import get_app
+    from repro.options import options_for
+
+    app = get_app(APP)
+    base = cache_key(app.source, options_for("BASE"), 50, 5)
+    assert cache_key(app.source, options_for("BASE"), 50, 5) == base
+    assert cache_key(app.source, options_for("SWC"), 50, 5) != base
+    assert cache_key(app.source, options_for("BASE"), 51, 5) != base
+    assert cache_key(app.source, options_for("BASE"), 50, 6) != base
+    assert cache_key(app.source + "\n", options_for("BASE"), 50, 5) != base
+
+
+def test_cache_corrupt_entry_is_a_miss(tmp_path):
+    cache = CompileCache(str(tmp_path / "cache"))
+    _res, _trace, hit = cache.get_or_compile(APP, "BASE", 50, 5)
+    assert hit is False
+
+    # Truncate every stored artifact, then look up with a fresh cache.
+    n_files = 0
+    for base, _dirs, files in os.walk(str(tmp_path / "cache")):
+        for name in files:
+            if name.endswith(".pkl"):
+                with open(os.path.join(base, name), "wb") as fh:
+                    fh.write(b"not a pickle")
+                n_files += 1
+    assert n_files == 1
+
+    cache2 = CompileCache(str(tmp_path / "cache"))
+    _res, _trace, hit2 = cache2.get_or_compile(APP, "BASE", 50, 5)
+    assert hit2 is False, "corrupt artifact must be treated as a miss"
+
+    # ... and the recompile overwrote it, so a third lookup hits.
+    cache3 = CompileCache(str(tmp_path / "cache"))
+    _res, _trace, hit3 = cache3.get_or_compile(APP, "BASE", 50, 5)
+    assert hit3 is True
+
+
+def test_cache_disabled_never_touches_disk(tmp_path):
+    cache = CompileCache(str(tmp_path / "cache"), enabled=False)
+    _res, _trace, hit = cache.get_or_compile(APP, "BASE", 50, 5)
+    assert hit is False
+    assert not os.path.exists(str(tmp_path / "cache"))
+    # The in-process memo still works.
+    _res, _trace, hit2 = cache.get_or_compile(APP, "BASE", 50, 5)
+    assert hit2 is True
+
+
+# -- bench-file merge fixes ------------------------------------------------------
+
+
+def test_merge_bench_json_forces_kind_and_figure(tmp_path):
+    path = str(tmp_path / "BENCH_fig13.json")
+    # An existing file with stale kind/figure (the historical bug let
+    # these shadow the fresh values) plus a key the new payload extends.
+    with open(path, "w") as fh:
+        json.dump({"kind": "stale", "figure": "wrong",
+                   "rates": {"BASE": [0.1]}, "note": "old"}, fh)
+
+    merge_bench_json(path, "fig13", {"app": APP,
+                                     "rates": {"SWC": [1.0]}})
+    with open(path) as fh:
+        data = json.load(fh)
+    assert data["kind"] == "bench"
+    assert data["figure"] == "fig13"
+    # Dict values merge key-wise; untouched keys survive.
+    assert data["rates"] == {"BASE": [0.1], "SWC": [1.0]}
+    assert data["note"] == "old"
+    assert data["app"] == APP
+
+
+def test_merge_bench_json_rewrites_corrupt_file(tmp_path):
+    path = str(tmp_path / "BENCH_fig13.json")
+    with open(path, "w") as fh:
+        fh.write("{half a json docum")
+    merge_bench_json(path, "fig13", {"rates": {"SWC": [1.0]}})
+    with open(path) as fh:
+        data = json.load(fh)
+    assert data == {"kind": "bench", "figure": "fig13",
+                    "rates": {"SWC": [1.0]}}
+
+
+def test_merge_bench_json_concurrent_writers(tmp_path):
+    """Concurrent merges must not lose keys (the old read-merge-write
+    raced: both read, both write, one side's keys vanish)."""
+    path = str(tmp_path / "BENCH_fig13.json")
+    n = 16
+    errors = []
+
+    def writer(i):
+        try:
+            merge_bench_json(path, "fig13",
+                             {"rates": {"L%02d" % i: [float(i)]}})
+        except Exception as exc:  # pragma: no cover - failure detail
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer, args=(i,)) for i in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    with open(path) as fh:
+        data = json.load(fh)
+    assert sorted(data["rates"]) == ["L%02d" % i for i in range(n)]
+    assert data["kind"] == "bench" and data["figure"] == "fig13"
+
+
+# -- metric/ledger record merging ------------------------------------------------
+
+
+def test_metrics_merge_records_accumulates():
+    src = obs_metrics.MetricsRegistry(enabled=True)
+    src.counter("c", app=APP).inc(3)
+    src.gauge("g").set(7.5)
+    t = src.timer("t")
+    t.count, t.total_s = 2, 0.5
+    src.histogram("h").observe(1.0)
+    src.histogram("h").observe(3.0)
+
+    dst = obs_metrics.MetricsRegistry(enabled=True)
+    dst.counter("c", app=APP).inc(1)
+    dst.merge_records(src.records())
+    dst.merge_records(src.records())  # merging twice accumulates
+
+    assert dst.counter("c", app=APP).value == 1 + 3 + 3
+    assert dst.gauge("g").value == 7.5
+    assert dst.timer("t").count == 4
+    assert dst.timer("t").total_s == pytest.approx(1.0)
+    assert dst.histogram("h").count == 4
+
+    # extra_labels keep merged scopes disjoint from local ones.
+    dst.merge_records(src.records(), run="w1")
+    assert dst.counter("c", app=APP, run="w1").value == 3
+
+
+def test_metrics_merge_records_disabled_is_noop():
+    src = obs_metrics.MetricsRegistry(enabled=True)
+    src.counter("c").inc()
+    dst = obs_metrics.MetricsRegistry(enabled=False)
+    dst.merge_records(src.records())
+    assert list(dst.metrics()) == []
+
+
+def test_ledger_merge_records_rebases_seq():
+    led = obs_ledger.DecisionLedger(enabled=True)
+    led.record("pac", "s0", "accepted", reason="local")
+    worker = obs_ledger.DecisionLedger(enabled=True)
+    worker.record("sweep.cache", "l3switch/BASE", "miss", key="abc")
+    worker.record("sweep.cache", "l3switch/SWC", "hit")
+
+    led.merge_records(worker.records())
+    assert [d.seq for d in led.decisions] == [0, 1, 2]
+    assert led.decisions[1].subject == "l3switch/BASE"
+    assert led.decisions[1].evidence == {"key": "abc"}
+    assert led.decisions[2].verdict == "hit"
+
+
+# -- multi-run metrics files -----------------------------------------------------
+
+
+def test_dump_jsonl_append_and_split_runs(tmp_path):
+    path = str(tmp_path / "metrics.jsonl")
+    reg1 = obs_metrics.MetricsRegistry(enabled=True)
+    reg1.counter("c").inc()
+    reg1.dump_jsonl(path, append=True, header={"run": "first"})
+    reg2 = obs_metrics.MetricsRegistry(enabled=True)
+    reg2.counter("c").inc(2)
+    reg2.dump_jsonl(path, append=True, header={"run": "second"})
+
+    with open(path) as fh:
+        records = [json.loads(line) for line in fh]
+    assert [r["type"] for r in records] == [
+        "run_header", "counter", "run_header", "counter"]
+
+    resolved = obs_report.split_runs(records)
+    assert len(resolved) == 2
+    assert resolved[0]["labels"]["run"] == "first"
+    assert resolved[1]["labels"]["run"] == "second"
+
+    # A single-run file renders exactly as before: no run label.
+    single = obs_report.split_runs(records[:2])
+    assert single[0].get("labels", {}).get("run") is None
+
+    # Legacy headerless files: records before the first header belong
+    # to an implicit "run0".
+    legacy = obs_report.split_runs([records[1], records[2], records[3]])
+    assert legacy[0]["labels"]["run"] == "run0"
+    assert legacy[1]["labels"]["run"] == "second"
+
+
+def test_build_jobs_shape():
+    jobs = _small_jobs()
+    rate = [j for j in jobs if j.kind == "rate"]
+    table1 = [j for j in jobs if j.kind == "table1"]
+    assert len(rate) == len(LEVELS) * len(ME_COUNTS)
+    assert len(table1) == len(LEVELS)  # BASE and SWC are Table 1 rows
+    assert all(j.n_mes == 2 for j in table1)
+    assert isinstance(jobs[0], SweepJob)
