@@ -1,0 +1,92 @@
+"""CLI: ``python -m repro.analyze <app> [-O LEVEL] [--pass NAME ...]``.
+
+Compiles the app with the decision ledger enabled, runs the requested
+analysis passes (default: all), prints the deterministic JSON report
+(or writes it with ``-o``), and exits 2 when any pass reported an
+error-severity finding.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analyze.core import (
+    EXIT_FINDINGS,
+    registered_passes,
+    report_text,
+    run_analysis,
+    write_report,
+)
+from repro.options import LEVEL_ORDER
+
+#: accept the conventional -O spellings alongside the paper's names.
+_LEVEL_ALIASES = {
+    "O0": "BASE", "0": "BASE",
+    "1": "O1", "2": "O2",
+    "3": "SWC", "O3": "SWC", "MAX": "SWC",
+}
+
+
+def resolve_level(text: str) -> str:
+    raw = text.upper().lstrip("+-")
+    if raw in LEVEL_ORDER:
+        return raw
+    if raw in _LEVEL_ALIASES:
+        return _LEVEL_ALIASES[raw]
+    raise SystemExit(
+        "unknown optimization level %r (have: %s, plus -O0/-O3 aliases)"
+        % (text, ", ".join(LEVEL_ORDER)))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analyze",
+        description="Analysis / translation validation of compiled ME images")
+    parser.add_argument("app", nargs="?",
+                        help="application name (l3switch/firewall/mpls)")
+    parser.add_argument("-O", "--level", default="SWC",
+                        help="optimization level (BASE..SWC; -O3 = SWC)")
+    parser.add_argument("--pass", dest="passes", action="append",
+                        metavar="NAME",
+                        help="run only this pass (+ dependencies); repeatable")
+    parser.add_argument("--list", action="store_true",
+                        help="list registered passes and exit")
+    parser.add_argument("-o", "--output", metavar="PATH",
+                        help="write the JSON report here instead of stdout")
+    parser.add_argument("--packets", type=int, default=200,
+                        help="profiling-trace packets (default 200)")
+    parser.add_argument("--seed", type=int, default=5,
+                        help="profiling-trace seed (default 5)")
+    parser.add_argument("--validate-packets", type=int, default=64,
+                        help="roots replayed per image by the validate "
+                             "pass; 0 = the whole trace (default 64)")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for p in registered_passes():
+            deps = " (requires %s)" % ", ".join(p.requires) if p.requires \
+                else ""
+            print("%-10s %s%s" % (p.name, p.doc, deps))
+        return 0
+
+    if not args.app:
+        parser.error("an application name is required (or use --list)")
+    validate_packets = args.validate_packets if args.validate_packets > 0 \
+        else None
+    report = run_analysis(
+        args.app, resolve_level(args.level), passes=args.passes,
+        packets=args.packets, seed=args.seed,
+        validate_packets=validate_packets)
+    if args.output:
+        write_report(report, args.output)
+        print("wrote %s (%s, %d error findings)" % (
+            args.output, "ok" if report["ok"] else "NOT OK",
+            report["errors_total"]))
+    else:
+        sys.stdout.write(report_text(report))
+    return 0 if report["ok"] else EXIT_FINDINGS
+
+
+if __name__ == "__main__":
+    sys.exit(main())

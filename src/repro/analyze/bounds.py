@@ -1,0 +1,135 @@
+"""``bounds`` pass: per-dispatch-path worst-case cycle bounds.
+
+For every dispatch entry of every image (the ``inputs`` ring/entry pairs
+plus the boot entry), computes the longest *acyclic* path through the
+final instruction list, charging each instruction its issue-cycle cost
+(:attr:`~repro.cg.isa.Insn.cycles`) plus the one-cycle abort penalty on
+taken branches -- the same accounting the simulator's dispatch cores
+use.  Calls (``bal``) are spliced: callee body (terminated by ``rtn``)
+plus the continuation after the call.
+
+Loops are truncated at their back edge (contributing zero), so the bound
+covers the acyclic core of each path; entries whose subgraph contains a
+loop are flagged ``cyclic`` and their loop headers listed.  Memory-wait
+time is deliberately excluded: it depends on contention and thread
+interleaving, so the pass reports the *memory reference count* along the
+worst path instead, which together with the cycle bound is the paper's
+own headroom model (compute cycles vs. references per packet).
+
+Findings: an unresolved branch/call target in a final image is an
+``error`` -- assembly must have resolved every label.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List
+
+from repro.analyze.core import AnalysisContext, AnalysisPass, finding, register
+
+#: instruction kinds that issue one memory/ring reference.
+_MEMREF_KINDS = frozenset(
+    ("mem", "ring_get", "ring_put", "tas", "release"))
+
+
+def _longest_from(insns, start: int):
+    """``(cycles, mem_refs, loop_headers, unresolved)`` for the longest
+    acyclic path from ``start``.  Back edges contribute zero and record
+    the loop header; ties between branch arms break toward more memory
+    references (the more pessimistic profile)."""
+    n = len(insns)
+    memo: Dict[int, tuple] = {}
+    color: Dict[int, int] = {}  # 1 = on the DFS stack, 2 = done
+    loop_headers: List[int] = []
+    unresolved: List[int] = []
+
+    def go(idx: int):
+        if idx >= n:
+            return (0, 0)
+        if color.get(idx) == 1:
+            if idx not in loop_headers:
+                loop_headers.append(idx)
+            return (0, 0)
+        if idx in memo:
+            return memo[idx]
+        color[idx] = 1
+        i = insns[idx]
+        kind = i.kind
+        c = i.cycles
+        m = 1 if kind in _MEMREF_KINDS else 0
+        if kind in ("halt", "rtn"):
+            val = (c, m)
+        elif kind == "br":
+            if i.resolved is None:
+                unresolved.append(idx)
+                val = (c, m)
+            elif i.cond == "always":
+                tc, tm = go(i.resolved)
+                val = (c + 1 + tc, m + tm)
+            else:
+                tc, tm = go(i.resolved)
+                fc, fm = go(idx + 1)
+                val = max((c + 1 + tc, m + tm), (c + fc, m + fm))
+        elif kind == "bal":
+            if i.resolved is None:
+                unresolved.append(idx)
+                val = (c, m)
+            else:
+                bc, bm = go(i.resolved)   # callee body, up to its rtn
+                rc, rm = go(idx + 1)      # continuation after return
+                val = (c + 1 + bc + rc, m + bm + rm)
+        else:
+            fc, fm = go(idx + 1)
+            val = (c + fc, m + fm)
+        color[idx] = 2
+        memo[idx] = val
+        return val
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 4 * n + 1000))
+    try:
+        cycles, mem_refs = go(start)
+    finally:
+        sys.setrecursionlimit(old_limit)
+    return cycles, mem_refs, sorted(loop_headers), sorted(set(unresolved))
+
+
+class BoundsPass(AnalysisPass):
+    name = "bounds"
+    requires = ("images",)
+    doc = "worst-case cycle / memory-reference bounds per dispatch path"
+
+    def run(self, ctx: AnalysisContext):
+        findings = []
+        images_out: Dict[str, object] = {}
+        for agg in sorted(ctx.result.images):
+            image = ctx.result.images[agg]
+            entries = [("__boot", image.entry)]
+            for ring_sym, entry_label in image.inputs:
+                idx = image.label_index.get(entry_label)
+                if idx is not None:
+                    entries.append((ring_sym, idx))
+            paths = []
+            for entry_name, start in entries:
+                cycles, mem_refs, headers, unresolved = _longest_from(
+                    image.insns, start)
+                for idx in unresolved:
+                    findings.append(finding(
+                        "error", self.name,
+                        "%s+%d" % (image.name, idx),
+                        "unresolved %s target in assembled image"
+                        % image.insns[idx].kind,
+                        entry=entry_name))
+                paths.append({
+                    "entry": entry_name,
+                    "start": start,
+                    "cycles_bound": cycles,
+                    "mem_refs_bound": mem_refs,
+                    "cyclic": bool(headers),
+                    "loop_headers": headers,
+                })
+            images_out[agg] = {"paths": paths}
+        return {"findings": findings, "images": images_out}
+
+
+register(BoundsPass())

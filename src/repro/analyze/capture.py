@@ -1,0 +1,174 @@
+"""Reference-side effect capture for translation validation.
+
+Runs the *unoptimized* IR (``lower_program`` on the checked Baker
+program -- no aggregation, no PAC/SOAR/PHR/SWC) through the functional
+interpreter and records, per trace packet, the multiset of externally
+visible packet effects the target ME aggregate must reproduce:
+
+* ``("put", channel, payload, meta)`` -- the packet escaped the
+  aggregate (``tx``, an XScale-consumed channel, any external channel
+  with no consumer), snapshotted *at put time*;
+* ``("drop",)`` -- the packet was dropped.
+
+Deliveries whose consumer PPF lives in the target aggregate are
+*spliced*: their effects accumulate into the same root's list, because
+the compiled image executes them in the same ME run (internal channels
+become direct calls; external self-loop channels, e.g. l3switch's
+``err_cc``, are re-dispatched from the image's own input rings before
+the harness's quiescence point).  Deliveries to non-target consumers
+are **not** executed: the harness runs with the XScale service disabled,
+and keeping both sides on the same state evolution is what makes
+per-root comparison sound.
+
+Snapshot normalization (shared with the harness via
+:func:`comparison_meta_words`): payload bytes plus metadata words from
+``META_RX_PORT`` up, excluding words 0-2 (buffer geometry -- identity,
+not semantics) and any PHR-localized user words (semantically dead at
+escape points by construction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.baker.packetmodel import META_RX_PORT
+from repro.profiler.hostpackets import HostPacket
+from repro.profiler.interpreter import Interpreter, InterpError
+
+
+def comparison_meta_words(meta_words: int,
+                          localized_words: Sequence[int]) -> Tuple[int, ...]:
+    """Metadata word indices compared between reference and image."""
+    skip = set(localized_words)
+    return tuple(w for w in range(META_RX_PORT, meta_words)
+                 if w not in skip)
+
+
+def localized_meta_word_indices(result) -> Tuple[int, ...]:
+    """Word indices of PHR-localized user metadata fields."""
+    phr = result.phr_result
+    if phr is None:
+        return ()
+    fields = result.checked.meta_fields
+    return tuple(sorted(fields[name].word_offset
+                        for name in phr.localized_meta_fields))
+
+
+@dataclass
+class CaptureRoot:
+    """One externally injected packet and its expected effect multiset."""
+
+    index: int
+    channel: str
+    payload: bytes
+    rx_port: int
+    effects: List[tuple] = field(default_factory=list)
+
+
+class CaptureInterpreter(Interpreter):
+    """Functional interpreter that records the target aggregate's
+    externally visible effects instead of simulating the whole system."""
+
+    def __init__(self, mod, target_ppfs, cmp_words: Tuple[int, ...],
+                 fuel: int = 50_000_000):
+        super().__init__(mod, fuel=fuel)
+        self.target_ppfs = frozenset(target_ppfs)
+        self.cmp_words = cmp_words
+        self._capture: Optional[List[tuple]] = None
+
+    # -- capture loop -------------------------------------------------------------
+
+    def run_capture(self, trace, max_roots: Optional[int] = None
+                    ) -> List[CaptureRoot]:
+        rx_consumer = self._ppf_by_channel.get("rx")
+        if rx_consumer is None:
+            raise InterpError("no PPF consumes 'rx'")
+        roots: List[CaptureRoot] = []
+        if rx_consumer not in self.target_ppfs:
+            return roots  # this aggregate never sees trace input
+        for tp in trace:
+            if max_roots is not None and len(roots) >= max_roots:
+                break
+            effects: List[tuple] = []
+            self._capture = effects
+            try:
+                pkt = HostPacket(tp.data, rx_port=tp.rx_port)
+                self._deliver(rx_consumer, pkt)
+                while self._queue:
+                    chan, qpkt = self._queue.popleft()
+                    self._deliver(self._ppf_by_channel[chan], qpkt)
+            finally:
+                self._capture = None
+            roots.append(CaptureRoot(len(roots), "rx", tp.data,
+                                     tp.rx_port, effects))
+        return roots
+
+    # -- effect hooks -------------------------------------------------------------
+
+    def _snapshot_put(self, channel: str, pkt: HostPacket) -> tuple:
+        return ("put", channel, bytes(pkt.payload()),
+                tuple(pkt.meta.get(w, 0) for w in self.cmp_words))
+
+    def _emit_channel(self, channel: str, pkt) -> None:
+        consumer = self._ppf_by_channel.get(channel)
+        if channel != "tx" and consumer in self.target_ppfs:
+            # Spliced: the compiled image processes this delivery inside
+            # the same run (direct call or self-input ring).
+            self._queue.append((channel, pkt))
+            return
+        if self._capture is None:
+            raise InterpError(
+                "channel put to %r outside a capture root" % channel)
+        self._capture.append(self._snapshot_put(channel, pkt))
+        if channel == "tx":
+            self.profile.packets_out += 1
+            self.tx.append(pkt)
+        # Non-target consumers are NOT executed: the harness disables
+        # the XScale, so mirroring that here keeps global state aligned.
+
+    def _drop_packet(self, pkt) -> None:
+        super()._drop_packet(pkt)
+        if self._capture is not None:
+            self._capture.append(("drop",))
+
+
+def aggregate_members(result, mod, agg_name: str):
+    """PPFs (in the *reference* module's name space) that execute inside
+    one ME aggregate.
+
+    The plan's ``ppfs`` list only names the surviving seed PPFs --
+    internalized channels turn their consumers into direct calls and the
+    consumers disappear from the optimized module entirely.  The closure
+    over ``plan.internal_channels`` recovers them: a consumer whose
+    internal input channel is fed by an aggregate member runs on that
+    member's ME."""
+    plan = result.plan
+    aggregate = next(a for a in plan.me_aggregates if a.name == agg_name)
+    members = set(aggregate.members())
+    changed = True
+    while changed:
+        changed = False
+        for name in plan.internal_channels:
+            chan = mod.channels.get(name)
+            if chan is None or chan.consumer is None:
+                continue
+            if chan.consumer not in members \
+                    and any(p in members for p in chan.producers):
+                members.add(chan.consumer)
+                changed = True
+    return members
+
+
+def capture_reference(result, trace, agg_name: str,
+                      max_roots: Optional[int] = None) -> List[CaptureRoot]:
+    """Effect roots for one ME aggregate of a compile."""
+    from repro.baker.lowering import lower_program
+
+    mod = lower_program(result.checked)
+    cmp_words = comparison_meta_words(
+        mod.meta_words, localized_meta_word_indices(result))
+    interp = CaptureInterpreter(mod, aggregate_members(result, mod, agg_name),
+                                cmp_words)
+    interp.run_inits()
+    return interp.run_capture(trace, max_roots=max_roots)

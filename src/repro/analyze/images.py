@@ -1,0 +1,65 @@
+"""``images`` pass: per-image inventory.
+
+The substrate every other pass depends on: one record per compiled
+:class:`~repro.cg.assemble.MEImage` with its size, entry points, and
+dispatch inputs, plus the instruction-kind histogram.  Having the
+inventory as a pass (rather than ambient context) keeps downstream
+reports self-describing -- a ``bounds`` section names dispatch paths
+that the ``images`` section defines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analyze.core import AnalysisContext, AnalysisPass, finding, register
+
+
+def _kind_histogram(insns) -> Dict[str, int]:
+    hist: Dict[str, int] = {}
+    for i in insns:
+        hist[i.kind] = hist.get(i.kind, 0) + 1
+    return hist
+
+
+class ImagesPass(AnalysisPass):
+    name = "images"
+    requires = ()
+    doc = "per-image inventory (sizes, entries, dispatch inputs)"
+
+    def run(self, ctx: AnalysisContext):
+        findings = []
+        images = {}
+        for agg in sorted(ctx.result.images):
+            image = ctx.result.images[agg]
+            layout = image.stack_layout
+            inputs = []
+            for ring_sym, entry_label in image.inputs:
+                if entry_label not in image.label_index:
+                    findings.append(finding(
+                        "error", self.name, image.name,
+                        "dispatch input %s targets unknown label %s"
+                        % (ring_sym, entry_label)))
+                inputs.append({"ring": ring_sym, "entry": entry_label})
+            images[agg] = {
+                "name": image.name,
+                "n_insns": len(image.insns),
+                "code_size": image.code_size,
+                "entry": image.entry,
+                "functions": sorted(image.functions),
+                "inputs": inputs,
+                "stack": None if layout is None else {
+                    "lm_words_used": layout.lm_words_used,
+                    "sram_words_used": layout.sram_words_used,
+                    "any_sram_frames": bool(layout.any_sram_frames),
+                },
+                "insn_kinds": _kind_histogram(image.insns),
+            }
+        if not images:
+            findings.append(finding(
+                "error", self.name, ctx.app_name,
+                "compile produced no ME images (codegen disabled?)"))
+        return {"findings": findings, "images": images}
+
+
+register(ImagesPass())

@@ -81,23 +81,30 @@ class MEImage:
         pre-resolved (:mod:`repro.ixp.predecode`). Built on first use --
         after the loader has placed symbols and created rings -- and
         shared by every ME running this image on the same chip."""
-        prog = self.decode_cache.get(chip)
-        if prog is None:
-            from repro.ixp.predecode import plan_matches, predecode_image
+        from repro.ixp.predecode import plan_matches, predecode_image
 
-            fp = self._fingerprint()
-            if fp != self._decode_fp:
-                self._decode_plans.clear()
-                self.decode_cache = weakref.WeakKeyDictionary()
-                self._decode_fp = fp
-            for used, cached in self._decode_plans:
-                if plan_matches(used, chip):
-                    prog = cached
-                    break
-            else:
-                prog, used = predecode_image(self, chip)
-                self._decode_plans.append((used, prog))
-            self.decode_cache[chip] = prog
+        # Insn edits invalidate everything, including per-chip entries:
+        # the identity fast path must never outlive the content check.
+        fp = self._fingerprint()
+        if fp != self._decode_fp:
+            self._decode_plans.clear()
+            self.decode_cache = weakref.WeakKeyDictionary()
+            self._decode_fp = fp
+        cached = self.decode_cache.get(chip)
+        if cached is not None:
+            used, prog = cached
+            # Same chip object, but a symbol the plan depends on may
+            # have been rebound (or bound late) since the first decode;
+            # revalidate the observed bindings before reusing.
+            if plan_matches(used, chip):
+                return prog
+        for used, prog in self._decode_plans:
+            if plan_matches(used, chip):
+                break
+        else:
+            prog, used = predecode_image(self, chip)
+            self._decode_plans.append((used, prog))
+        self.decode_cache[chip] = (used, prog)
         return prog
 
 

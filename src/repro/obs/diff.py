@@ -130,9 +130,27 @@ def diff_compile(old: dict, new: dict, tolerance: float,
     for name in sorted(set(o_imgs) | set(n_imgs)):
         a = (o_imgs.get(name) or {}).get("code_size")
         b = (n_imgs.get(name) or {}).get("code_size")
+        if a is None and b is None:
+            continue
         if a != b:
             lines.append("image %s code size: %s -> %s words" % (name, a, b))
-        if a and b and b > a * (1 + tolerance):
+        # Every edge of the lattice is gated: an image that appears,
+        # vanishes, or grows from a zero/absent baseline is a layout
+        # change CI must see, not a hole in the tolerance check.
+        if a is None:
+            regressions.append(
+                "image %s newly appears (%s words)" % (name, b))
+        elif b is None:
+            regressions.append(
+                "image %s vanished (was %s words)" % (name, a))
+        elif not a and b:
+            regressions.append(
+                "image %s code size grew from zero baseline "
+                "(0 -> %d words)" % (name, b))
+        elif a and not b:
+            regressions.append(
+                "image %s code size fell to zero (was %d words)" % (name, a))
+        elif b > a * (1 + tolerance):
             regressions.append(
                 "image %s code size grew %.1f%% (%d -> %d words, "
                 "tolerance %.0f%%)" % (name, 100 * (b - a) / a, a, b,

@@ -39,6 +39,12 @@ from repro.opt.aliases import AliasClasses, mutates_class
 # aligned) still fits one instruction in the common case.
 MAX_COMBINE_BYTES = 56
 
+# Test-only fault injection (tests/test_analyze_mutations.py): when set
+# to "extract_skew", absorbed field extractions read 8 bits past their
+# true offset -- a deliberately broken combine the translation validator
+# must catch. Never set outside tests.
+_TEST_MUTATION = None
+
 
 @dataclass
 class PacResult:
@@ -286,8 +292,12 @@ def _rewrite_load_group(fn: IRFunction, group: List[_Access], span,
                 extract_into(fn, seq, words, start_byte * 8,
                              acc.bit_off + 32 * i, 32, dst)
         else:
+            bit_off = acc.bit_off
+            if (_TEST_MUTATION == "extract_skew"
+                    and bit_off + 8 + acc.bit_width <= end_byte * 8):
+                bit_off += 8
             extract_into(fn, seq, words, start_byte * 8,
-                         acc.bit_off, acc.bit_width, acc.instr.dst)
+                         bit_off, acc.bit_width, acc.instr.dst)
         replacements.setdefault(acc.bb, {})[acc.index] = seq
     result.wide_loads += 1
     result.combined_loads += len(group)

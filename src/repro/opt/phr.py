@@ -33,6 +33,12 @@ from repro.ir.values import Const, Temp
 from repro.obs import ledger as obs_ledger
 from repro.opt.aliases import AliasClasses
 
+# Test-only fault injection (tests/test_analyze_mutations.py): when set
+# to "rebase_skew", deferred-head re-basing shifts field accesses one
+# byte past the true pending delta -- a deliberately broken elision the
+# translation validator must catch. Never set outside tests.
+_TEST_MUTATION = None
+
 
 @dataclass
 class PhrResult:
@@ -261,6 +267,8 @@ def _rewrite_instr(fn: IRFunction, instr: I.Instr, pending: Dict[Temp, int],
             return
         if isinstance(instr, (I.PktLoadWords, I.PktStoreWords)):
             instr.byte_off += d
+            if _TEST_MUTATION == "rebase_skew":
+                instr.byte_off += 4
             if instr.c_offset_bits is not None:
                 instr.c_offset_bits -= d * 8
             out.append(instr)

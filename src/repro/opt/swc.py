@@ -52,6 +52,12 @@ MAX_LINE_WORDS = 8  # 16 lines x 8 words = 128 words + counter
 # stride: entry E always owns LM words [CACHE_BASE + 8E, CACHE_BASE + 8E+8).
 LINE_STRIDE_WORDS = MAX_LINE_WORDS
 
+# Test-only fault injection (tests/test_analyze_mutations.py): when set
+# to "wrong_slot", the hit path reads one LM word past the true cache
+# slot -- a deliberately broken rewrite the translation validator must
+# catch. Never set outside tests.
+_TEST_MUTATION = None
+
 # Selection thresholds.
 MIN_LOADS_PER_PACKET = 0.4
 MAX_STORE_LOAD_RATIO = 0.01
@@ -434,6 +440,10 @@ def _rewrite_one_load(fn: IRFunction, bb: BasicBlock, idx: int,
     hit_bb.append(I.BinOp("and", within, load.offset, Const(spec.line_bytes - 1)))
     within_words = fn.new_temp(T.U32)
     hit_bb.append(I.BinOp("lshr", within_words, within, Const(2)))
+    if _TEST_MUTATION == "wrong_slot":
+        skewed = fn.new_temp(T.U32)
+        hit_bb.append(I.BinOp("add", skewed, within_words, Const(1)))
+        within_words = skewed
     slot_h = fn.new_temp(T.U32)
     hit_bb.append(I.BinOp("add", slot_h, line_base, within_words))
     if load.width == 8:

@@ -86,6 +86,15 @@ def main(argv=None) -> int:
     ap.add_argument("--ledger", action="store_true",
                     help="record compile decisions (repro.obs.ledger) "
                          "during any cache-miss compiles")
+    ap.add_argument("--analyze", action="store_true",
+                    help="run the repro.analyze budget + translation-"
+                         "validation passes on every distinct (app, "
+                         "level) compile; exit 2 if any report has "
+                         "error findings")
+    ap.add_argument("--analyze-packets", type=int, default=24,
+                    metavar="N",
+                    help="trace roots replayed per image during "
+                         "--analyze validation (default: %(default)s)")
     args = ap.parse_args(argv)
 
     apps = _csv(args.apps)
@@ -118,7 +127,8 @@ def main(argv=None) -> int:
     cfg = WorkerConfig(cache_dir=cache.cache_dir, use_cache=cache.enabled,
                        trace_packets=args.trace_packets,
                        trace_seed=args.trace_seed, obs=True,
-                       ledger=args.ledger)
+                       ledger=args.ledger, analyze=args.analyze,
+                       analyze_packets=args.analyze_packets)
     sweep = run_sweep(jobs, n_procs=args.jobs, cache=cache, cfg=cfg,
                       merge_into=reg)
 
@@ -157,6 +167,19 @@ def main(argv=None) -> int:
         print("wrote %s" % path)
     print("metrics: %s (run %s; render: python -m repro.obs.report %s)"
           % (metrics_path, run_id, metrics_path))
+    if args.analyze:
+        failures = sweep.analysis_failures()
+        analyzed = {(jr.job.app, jr.job.level) for jr in sweep.jobs
+                    if jr.analysis is not None}
+        if failures:
+            print("analyze: %d of %d compiles FAILED validation:"
+                  % (len(failures), len(analyzed)))
+            for app, level, n_errors in failures:
+                print("  %s/%s: %d error finding%s"
+                      % (app, level, n_errors,
+                         "" if n_errors == 1 else "s"))
+            return 2
+        print("analyze: all %d compiles validated clean" % len(analyzed))
     return 0
 
 

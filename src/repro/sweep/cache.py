@@ -25,8 +25,11 @@ enabled, one ``sweep.cache`` decision per lookup.
 
 Cache files are written atomically (tempfile + ``os.replace``), so
 concurrent workers racing on a cold key at worst compile twice and
-both write identical-content artifacts; unreadable or truncated
-entries are treated as misses and overwritten.
+both write identical-content artifacts. An unreadable file is a plain
+miss; a file that *reads* but does not *decode* (truncated pickle,
+stale class layout) is deleted on first detection -- and counted under
+the distinct ``result="corrupt"`` label -- so later runs do not keep
+re-reading and re-discarding the same dead bytes.
 """
 
 from __future__ import annotations
@@ -118,14 +121,20 @@ class CompileCache:
         self.enabled = enabled
         self.hits = 0
         self.misses = 0
+        self.corrupt_entries = 0
+        self.last_load_corrupt = False
         self._memo: Dict[str, Tuple[object, object]] = {}
 
     def _path(self, key: str) -> str:
         return os.path.join(self.cache_dir, key[:2], key + ".pkl")
 
     def load(self, key: str):
-        """The cached value, or None. Any unpicklable/corrupt entry is
-        a miss (and will be overwritten by the next store)."""
+        """The cached value, or None. A corrupt (undecodable) entry is
+        deleted on first detection -- leaving it on disk would make
+        every later run re-read and re-discard the same bytes -- and
+        counted in :attr:`corrupt_entries`; :attr:`last_load_corrupt`
+        lets the caller distinguish it from a plain miss."""
+        self.last_load_corrupt = False
         if key in self._memo:
             return self._memo[key]
         if not self.enabled:
@@ -133,8 +142,18 @@ class CompileCache:
         try:
             with open(self._path(key), "rb") as fh:
                 value = pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+        except OSError:
+            return None  # absent/unreadable: a plain miss
+        except (pickle.UnpicklingError, EOFError, AttributeError,
                 ImportError, IndexError):
+            # Truncated write, stale class layout, wrong protocol...
+            # The bytes will never decode; stop serving them.
+            self.corrupt_entries += 1
+            self.last_load_corrupt = True
+            try:
+                os.unlink(self._path(key))
+            except OSError:
+                pass
             return None
         self._memo[key] = value
         return value
@@ -188,11 +207,18 @@ class CompileCache:
             result, trace = cached
             return result, trace, True
         self.misses += 1
-        reg.counter("sweep.compile_cache", app=app_name, level=level,
-                    result="miss").inc()
-        led.record("sweep.cache", "%s/%s" % (app_name, level), "miss",
-                   reason="no artifact for fingerprint; compiling",
-                   key=key[:16])
+        if self.last_load_corrupt:
+            reg.counter("sweep.compile_cache", app=app_name, level=level,
+                        result="corrupt").inc()
+            led.record("sweep.cache", "%s/%s" % (app_name, level), "corrupt",
+                       reason="undecodable artifact deleted; recompiling",
+                       key=key[:16])
+        else:
+            reg.counter("sweep.compile_cache", app=app_name, level=level,
+                        result="miss").inc()
+            led.record("sweep.cache", "%s/%s" % (app_name, level), "miss",
+                       reason="no artifact for fingerprint; compiling",
+                       key=key[:16])
         trace = app.make_trace(trace_packets, seed=trace_seed)
         result = compile_baker(app.source, opts, trace)
         self.store(key, (result, trace))

@@ -94,6 +94,9 @@ class JobResult:
     metrics: List[dict] = field(default_factory=list)
     compile_spans: List[tuple] = field(default_factory=list)
     decisions: List[dict] = field(default_factory=list)
+    #: ``repro.analyze`` report for this job's (app, level) compile, when
+    #: the sweep runs with ``analyze=True`` (None otherwise).
+    analysis: Optional[dict] = None
 
 
 @dataclass(frozen=True)
@@ -107,6 +110,12 @@ class WorkerConfig:
     obs: bool = True
     capture_spans: bool = False
     ledger: bool = False
+    #: Opt-in per-job correctness check: run the ``repro.analyze``
+    #: budget + translation-validation passes over each distinct
+    #: (app, level) compile and attach the report to the job results.
+    analyze: bool = False
+    #: Trace roots replayed per image by the validation pass.
+    analyze_packets: int = 24
 
 
 def build_jobs(apps: Sequence[str],
@@ -178,6 +187,8 @@ def execute_job(job: SweepJob, cfg: WorkerConfig,
                                    warmup_packets=job.warmup_packets,
                                    measure_packets=job.measure_packets,
                                    trace_json=job.trace_json)
+    analysis = (_analyze_compile(job, cfg, result, trace)
+                if cfg.analyze else None)
     profile = {f: getattr(run.access_profile, f) for f in _PROFILE_FIELDS}
     spans = obs_trace.drain_compile_spans() if detached else []
     decisions = ([d.to_record() for d in led.since(led_mark)]
@@ -189,7 +200,31 @@ def execute_job(job: SweepJob, cfg: WorkerConfig,
                      wall_s=time.perf_counter() - t0,
                      metrics=reg.records() if cfg.obs else [],
                      compile_spans=spans,
-                     decisions=decisions)
+                     decisions=decisions,
+                     analysis=analysis)
+
+
+#: Per-process memo: the analysis of one (app, level) compile does not
+#: depend on the ME count, so the many grid cells sharing a compile
+#: share one report.
+_ANALYSIS_MEMO: Dict[Tuple, dict] = {}
+
+
+def _analyze_compile(job: SweepJob, cfg: WorkerConfig,
+                     result, trace) -> dict:
+    """The ``repro.analyze`` budget + validation report for this job's
+    compiled artifact (memoized per process per (app, level))."""
+    from repro.analyze import run_analysis
+
+    key = (job.app, job.level, cfg.trace_packets, cfg.trace_seed,
+           cfg.analyze_packets)
+    if key not in _ANALYSIS_MEMO:
+        _ANALYSIS_MEMO[key] = run_analysis(
+            job.app, job.level, passes=("budget", "validate"),
+            packets=cfg.trace_packets, seed=cfg.trace_seed,
+            validate_packets=cfg.analyze_packets,
+            result=result, trace=trace)
+    return _ANALYSIS_MEMO[key]
 
 
 # -- pool worker plumbing --------------------------------------------------------
@@ -266,6 +301,24 @@ class SweepResult:
         """level -> Table 1 access-count row (unrounded)."""
         return {jr.job.level: dict(jr.profile) for jr in self.jobs
                 if jr.job.kind == "table1" and jr.job.app == app}
+
+    def analysis_failures(self) -> List[Tuple[str, str, int]]:
+        """(app, level, error_findings) for every analyzed compile whose
+        ``repro.analyze`` report is not clean. Empty when analysis was
+        off or everything validated."""
+        seen = set()
+        failures: List[Tuple[str, str, int]] = []
+        for jr in self.jobs:
+            if jr.analysis is None:
+                continue
+            key = (jr.job.app, jr.job.level)
+            if key in seen:
+                continue
+            seen.add(key)
+            if not jr.analysis.get("ok", True):
+                failures.append((jr.job.app, jr.job.level,
+                                 int(jr.analysis.get("errors_total", 0))))
+        return failures
 
     def bench_payloads(self) -> Dict[str, Dict]:
         """figure -> BENCH_*.json payload, matching the benchmarks'

@@ -92,6 +92,40 @@ def test_predecode_plan_reused_across_chips():
         assert len(image._decode_plans) == 1
 
 
+def test_predecode_revalidates_rebound_symbol_same_chip():
+    # The per-chip identity fast path must revalidate symbol bindings:
+    # a symbol rebound on the *same* chip object between runs used to be
+    # served the stale program decoded against the old value.
+    reg = isa.PReg("a", 0)
+    image = _mini_image([isa.LoadSym(reg, isa.SymRef("g")), isa.Halt()])
+    chip = IXP2400()
+    chip.symbols["g"] = 100
+    me1 = Microengine(0, image, chip, n_threads=1, dispatch="fast")
+    me1.run_slice(100)
+    assert me1.threads[0].get(reg) == 100
+
+    chip.symbols["g"] = 2000
+    me2 = Microengine(0, image, chip, n_threads=1, dispatch="fast")
+    me2.run_slice(100)
+    assert me2.threads[0].get(reg) == 2000
+
+
+def test_predecode_revalidates_late_bound_symbol():
+    # A symbol that was *missing* at decode time (recorded miss) and is
+    # bound later on the same chip must trigger a re-decode, not reuse
+    # of the punted plan.
+    reg = isa.PReg("a", 0)
+    image = _mini_image([isa.LoadSym(reg, isa.SymRef("g")), isa.Halt()])
+    chip = IXP2400()
+    prog1 = image.predecoded(chip)
+    chip.symbols["g"] = 4242
+    prog2 = image.predecoded(chip)
+    assert prog2 is not prog1
+    me = Microengine(0, image, chip, n_threads=1, dispatch="fast")
+    me.run_slice(100)
+    assert me.threads[0].get(reg) == 4242
+
+
 def test_fast_dispatch_rejects_virtual_register():
     # Punted instructions defer to the legacy handlers lazily: the error
     # surfaces at execution, exactly like the legacy path.

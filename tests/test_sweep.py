@@ -160,6 +160,49 @@ def test_cache_corrupt_entry_is_a_miss(tmp_path):
     assert hit3 is True
 
 
+def test_cache_corrupt_entry_deleted_and_counted(tmp_path):
+    """An undecodable artifact is unlinked on first detection and
+    counted under the distinct ``result="corrupt"`` label -- not left
+    on disk to be re-read and re-discarded by every later run."""
+    from repro.apps import get_app
+    from repro.options import options_for
+
+    cache = CompileCache(str(tmp_path / "cache"))
+    cache.get_or_compile(APP, "BASE", 50, 5)
+    key = cache_key(get_app(APP).source, options_for("BASE"), 50, 5)
+    path = cache._path(key)
+    assert os.path.exists(path)
+    with open(path, "wb") as fh:
+        fh.write(b"not a pickle")
+
+    # load() alone must delete the dead bytes (get_or_compile would
+    # immediately overwrite them with a fresh artifact).
+    cache2 = CompileCache(str(tmp_path / "cache"))
+    assert cache2.load(key) is None
+    assert cache2.last_load_corrupt is True
+    assert cache2.corrupt_entries == 1
+    assert not os.path.exists(path)
+
+    # Through get_or_compile the lookup is counted as "corrupt", not
+    # "miss", and the recompile stores a good artifact again.
+    with open(path, "wb") as fh:
+        fh.write(b"also not a pickle")
+    cache3 = CompileCache(str(tmp_path / "cache"))
+    reg = obs_metrics.MetricsRegistry(enabled=True)
+    with obs_metrics.scoped_registry(reg):
+        _res, _trace, hit = cache3.get_or_compile(APP, "BASE", 50, 5)
+    assert hit is False
+    assert cache3.corrupt_entries == 1
+    assert reg.counter("sweep.compile_cache", app=APP, level="BASE",
+                       result="corrupt").value == 1
+    assert reg.counter("sweep.compile_cache", app=APP, level="BASE",
+                       result="miss").value == 0
+
+    cache4 = CompileCache(str(tmp_path / "cache"))
+    _res, _trace, hit4 = cache4.get_or_compile(APP, "BASE", 50, 5)
+    assert hit4 is True
+
+
 def test_cache_disabled_never_touches_disk(tmp_path):
     cache = CompileCache(str(tmp_path / "cache"), enabled=False)
     _res, _trace, hit = cache.get_or_compile(APP, "BASE", 50, 5)
