@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 # Router port MACs (3 ports, as on the IXP2400 eval board's 3x1G optics).
 ROUTER_MACS: List[int] = [0x0A0000000001, 0x0A0000000002, 0x0A0000000003]
@@ -281,6 +281,128 @@ def make_mpls_config(n_labels: int = 16, n_nexthops: int = 8,
         ftn[prefix16] = (labels[i % n_labels], 1 + rng.randrange(n_nexthops - 1))
     nexthops = [(0x0E0000000000 + i, i % N_PORTS) for i in range(n_nexthops)]
     return MplsConfig(ilm, ftn, nexthops)
+
+
+# -- live-churn mutations (the repro.serve control plane) -------------------------
+#
+# Each helper draws a deterministic sequence of single-word (or
+# single-u64) rewrites against the *rendered* table layout: ``target``
+# is the Baker global, ``offset``/``width`` address the element exactly
+# as the XScale global adapter does, and ``old_value`` is asserted
+# against live memory before the store (catching any layout drift
+# loudly). Helpers also update the Python-side table object so oracles
+# and later mutations see the post-update state. ``probe`` carries what
+# a stale-traffic scan needs: retired values that no valid packet
+# should carry once the data plane is coherent again.
+
+
+@dataclass
+class TableMutation:
+    """One control-plane table update, addressed at the byte level."""
+
+    kind: str                 # churn kind (route-flap / fw-toggle / ...)
+    target: str               # Baker global name
+    index: int                # element index within the table
+    offset: int               # byte offset within the global
+    width: int                # byte width of the store
+    old_value: int
+    new_value: int
+    probe: Dict[str, int] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        return "%s %s[%d] %#x->%#x" % (self.kind, self.target, self.index,
+                                       self.old_value, self.new_value)
+
+
+def route_flap_mutations(table: RouteTable, count: int,
+                         seed: int = 0) -> List[TableMutation]:
+    """Next-hop MAC rewrites (a neighbor re-resolving to a new address).
+
+    Flapped next hops get fresh MACs from a reserved 0x0D... range, so a
+    retired MAC never becomes valid again -- any Tx frame carrying it
+    after the update is provably stale (the SWC delayed-coherency
+    window made visible). ``nh_mac`` is SWC-cached at +SWC, so the
+    store also raises the cache-update flag when the serve control
+    plane applies it.
+    """
+    rng = random.Random(seed)
+    muts: List[TableMutation] = []
+    for k in range(count):
+        # Next hop 0 is the default route target; flap real next hops.
+        i = 1 + rng.randrange(len(table.nexthops) - 1)
+        old_mac, port = table.nexthops[i]
+        new_mac = 0x0D0000000000 | ((seed & 0xFFFF) << 16) | k
+        table.nexthops[i] = (new_mac, port)
+        muts.append(TableMutation(
+            kind="route-flap", target="nh_mac", index=i,
+            offset=i * 8, width=8, old_value=old_mac, new_value=new_mac,
+            probe={"stale_dst_mac": old_mac}))
+    return muts
+
+
+def firewall_rule_mutations(config: FirewallConfig, count: int,
+                            seed: int = 0) -> List[TableMutation]:
+    """Action toggles (pass<->drop) on non-catch-all rules.
+
+    The firewall caches nothing under SWC (the rule table is too large
+    for the CAM), so these updates take effect immediately -- the
+    control contrast to the route-flap case. The visible impact is a
+    step in the per-window drop/forward counts for flows the toggled
+    rule matches.
+    """
+    rng = random.Random(seed)
+    muts: List[TableMutation] = []
+    for _ in range(count):
+        i = rng.randrange(len(config.rules) - 1)  # keep the catch-all
+        rule = config.rules[i]
+        old_action, new_action = rule.action, 1 - rule.action
+        rule.action = new_action
+        muts.append(TableMutation(
+            kind="fw-toggle", target="fw_rules", index=i,
+            offset=(i * RULE_WORDS + R_ACTION) * 4, width=4,
+            old_value=old_action, new_value=new_action,
+            probe={"flow_id": rule.flow_id}))
+    return muts
+
+
+def mpls_label_mutations(config: "MplsConfig", count: int, seed: int = 0,
+                         ) -> List[TableMutation]:
+    """Outgoing-label rewrites on SWAP entries (LSP re-signaling).
+
+    Candidates are SWAP entries whose *current* outgoing label is not
+    also pushed by the FTN (ingress) table; replacement labels come
+    from an unused range above the ILM. Both together make the retired
+    label unambiguous: once the data plane is coherent, no Tx frame
+    should carry it, so late occurrences measure the SWC
+    delayed-coherency window on the cached ``ilm`` table.
+    """
+    rng = random.Random(seed)
+    ftn_labels = {label for label, _ in config.ftn.values()}
+    used = set(config.ilm) | ftn_labels
+    used.update(out for _, out, _ in config.ilm.values())
+    next_fresh = ILM_SIZE + 1 + (seed % 101)
+    muts: List[TableMutation] = []
+    for _ in range(count):
+        candidates = sorted(
+            label for label, (op, out, _nh) in config.ilm.items()
+            if op == MPLS_OP_SWAP and out not in ftn_labels)
+        if not candidates:
+            break
+        label = candidates[rng.randrange(len(candidates))]
+        op, old_out, nh = config.ilm[label]
+        while next_fresh in used:
+            next_fresh += 1
+        new_out = next_fresh
+        used.add(new_out)
+        config.ilm[label] = (op, new_out, nh)
+        old_word = (op << 30) | (old_out << 10) | nh
+        new_word = (op << 30) | (new_out << 10) | nh
+        muts.append(TableMutation(
+            kind="mpls-relabel", target="ilm", index=label,
+            offset=label * 4, width=4, old_value=old_word,
+            new_value=new_word,
+            probe={"stale_mpls_label": old_out, "new_mpls_label": new_out}))
+    return muts
 
 
 def render_mpls_config(config: MplsConfig) -> str:

@@ -44,6 +44,12 @@ class IXP2400:
         # only appends to tracer-side lists, so attaching one cannot
         # perturb simulated state or event order.
         self.tracer = None
+        # Optional repro.obs.timeseries.TimeseriesCollector, pulled by
+        # run() through the same next_t/catch-up contract as the
+        # sampler: window boundaries close before any event action at
+        # the same timestamp runs, so a control-plane action at exactly
+        # boundary k*W annotates window k.
+        self.window = None
 
     # -- symbols / rings ---------------------------------------------------------
 
@@ -127,6 +133,7 @@ class IXP2400:
         """
         countdown = stop_check_interval
         sampler = self.sampler
+        window = self.window
         events = self._events
         pop = heapq.heappop
         push = heapq.heappush
@@ -148,6 +155,11 @@ class IXP2400:
                 # sparse event periods must not silently skip grid points.
                 while now >= sampler.next_t:
                     sampler.sample(sampler.next_t)
+            if window is not None:
+                # Same catch-up rule: every elapsed boundary closes its
+                # window, and all of them close before this action runs.
+                while now >= window.next_t:
+                    window.tick(window.next_t)
             nxt = action()
             if nxt is not None:
                 # Re-arm at the requested time; past-due times collapse to

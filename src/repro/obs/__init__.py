@@ -46,6 +46,17 @@ _TRACE_EXPORTS = frozenset([
     "record_trace_summary",
 ])
 
+# Same PEP 562 treatment for repro.obs.timeseries (keeps the windowed
+# observability machinery out of processes that never use it).
+_TIMESERIES_EXPORTS = frozenset([
+    "QuantileSketch",
+    "StreamingQuantile",
+    "TimeseriesCollector",
+    "load_timeseries",
+    "update_impact",
+    "window_drops",
+])
+
 # The ledger has its own enable/disable pair, so those are re-exported
 # under qualified names (enable_ledger / disable_ledger / ledger_enabled).
 _LEDGER_EXPORTS = {
@@ -66,6 +77,10 @@ def __getattr__(name):
         from repro.obs import trace
 
         return getattr(trace, name)
+    if name in _TIMESERIES_EXPORTS:
+        from repro.obs import timeseries
+
+        return getattr(timeseries, name)
     if name in _LEDGER_EXPORTS:
         from repro.obs import ledger
 
@@ -94,9 +109,15 @@ __all__ = [
     "Histogram",
     "Metric",
     "MetricsRegistry",
+    "QuantileSketch",
     "Series",
     "SimSampler",
+    "StreamingQuantile",
     "Timer",
+    "TimeseriesCollector",
+    "load_timeseries",
+    "update_impact",
+    "window_drops",
     "disable",
     "enable",
     "get_registry",

@@ -7,8 +7,9 @@ Usage::
         [--tolerance 0.05]
 
 The file kind is auto-detected from the ``kind`` field written by
-:mod:`repro.obs.ledger` (``compile_report``) and
-``benchmarks/figures_common.py`` (``bench``).
+:mod:`repro.obs.ledger` (``compile_report``),
+``benchmarks/figures_common.py`` (``bench``), and the serve harness
+(``bench_churn``).
 
 * **compile report vs compile report** -- prints decision-count deltas
   per pass/verdict plus summary deltas (IR size, image code size,
@@ -21,6 +22,10 @@ The file kind is auto-detected from the ``kind`` field written by
   count by ME count; exits 2 when any new rate drops more than
   ``--tolerance`` (fractional) below the old rate. This is the CI
   perf-regression gate.
+* **churn bench vs churn bench** (``python -m repro.serve`` output) --
+  gates the serve harness: mean forwarding rate must not drop and
+  overall p99 latency must not grow beyond ``--tolerance``, and the
+  number of applied control-plane updates must not change.
 
 Two identical files always diff clean and exit 0.
 """
@@ -217,6 +222,55 @@ def diff_bench(old: dict, new: dict,
     return lines, regressions
 
 
+# -- churn bench vs churn bench -------------------------------------------------------
+
+
+def diff_churn(old: dict, new: dict,
+               tolerance: float) -> Tuple[List[str], List[str]]:
+    """Gate the serve harness's BENCH_churn.json: mean forwarding rate
+    must not drop, overall p99 must not grow, and the run must keep
+    applying (and observing the effect of) the same number of updates."""
+    lines: List[str] = []
+    regressions: List[str] = []
+    lines.append("churn bench diff: %s/%s (%s windows)" % (
+        new.get("app", "?"), new.get("level", "?"), new.get("windows", "?")))
+
+    o_sum, n_sum = old.get("summary") or {}, new.get("summary") or {}
+    a = o_sum.get("mean_rate_gbps", 0.0)
+    b = n_sum.get("mean_rate_gbps", 0.0)
+    if a != b:
+        lines.append("  mean rate: %.4f -> %.4f Gbps" % (a, b))
+    if a > 0 and b < a * (1 - tolerance):
+        regressions.append(
+            "mean rate dropped %.4f -> %.4f Gbps (-%.1f%%, tolerance %.0f%%)"
+            % (a, b, 100 * (a - b) / a, 100 * tolerance))
+
+    o_lat = o_sum.get("latency") or {}
+    n_lat = n_sum.get("latency") or {}
+    a = o_lat.get("p99", 0.0)
+    b = n_lat.get("p99", 0.0)
+    if a != b:
+        lines.append("  p99 latency: %g -> %g cycles" % (a, b))
+    if a > 0 and b > a * (1 + tolerance):
+        regressions.append(
+            "p99 latency grew %g -> %g cycles (+%.1f%%, tolerance %.0f%%)"
+            % (a, b, 100 * (b - a) / a, 100 * tolerance))
+
+    a = o_sum.get("updates_applied", 0)
+    b = n_sum.get("updates_applied", 0)
+    if a != b:
+        lines.append("  updates applied: %d -> %d" % (a, b))
+        regressions.append("updates applied changed %d -> %d (the churn "
+                           "schedule is part of the benchmark)" % (a, b))
+    for key in ("drops", "stale_tx_total"):
+        if o_sum.get(key) != n_sum.get(key):
+            lines.append("  %s: %s -> %s" % (key, o_sum.get(key),
+                                             n_sum.get(key)))
+    if len(lines) == 1:
+        lines.append("  summaries identical")
+    return lines, regressions
+
+
 # -- CLI ------------------------------------------------------------------------------
 
 
@@ -234,6 +288,10 @@ def run_diff(old_path: str, new_path: str, tolerance: float = 0.05,
         fatal = bool(gate) and bool(regressions)
     elif old["kind"] == "bench":
         lines, regressions = diff_bench(old, new, tolerance)
+        fatal = bool(regressions) if gate is None else bool(gate and
+                                                            regressions)
+    elif old["kind"] == "bench_churn":
+        lines, regressions = diff_churn(old, new, tolerance)
         fatal = bool(regressions) if gate is None else bool(gate and
                                                             regressions)
     else:

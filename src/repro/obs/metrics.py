@@ -325,6 +325,26 @@ class MetricsRegistry:
                 fh.write(json.dumps(rec) + "\n")
         return path
 
+    def snapshot_and_reset(self) -> List[Dict[str, object]]:
+        """Counter records accrued since the last call, then zero them.
+
+        The window boundary of :class:`repro.obs.timeseries
+        .TimeseriesCollector`: counters drain into the closing window's
+        record and restart for the next one. Only counters reset --
+        gauges are last-write-wins state, timers/histograms/series keep
+        accumulating -- and zero-valued counters are skipped so window
+        records stay sparse. Records come back in the same deterministic
+        order as :meth:`records`.
+        """
+        out: List[Dict[str, object]] = []
+        for metric in self._metrics.values():
+            if metric.kind == "counter" and metric.value:
+                out.append(metric.to_record())
+                metric.value = 0
+        out.sort(key=lambda r: (r["type"], r["name"],
+                                sorted((r.get("labels") or {}).items())))
+        return out
+
     # -- cross-registry merge ----------------------------------------------------
 
     def merge_records(self, records: Iterable[Dict[str, object]],

@@ -5,6 +5,7 @@ Usage::
     python -m repro.obs.report [metrics.jsonl] [--only key=value ...]
     python -m repro.obs.report [metrics.jsonl] --json
     python -m repro.obs.report explain compile_report.json
+    python -m repro.obs.report timeline timeline.jsonl
 
 The input is whatever :meth:`repro.obs.MetricsRegistry.dump_jsonl`
 wrote (benchmarks write ``benchmarks/results/metrics.jsonl``). Records
@@ -17,6 +18,12 @@ accounting. ``--json`` emits the same per-scope data machine-readably.
 The ``explain`` subcommand renders a ``compile_report.json`` written by
 :mod:`repro.obs.ledger`: the plan, per-pass optimization results, and
 every recorded optimization decision with its reason and evidence.
+
+The ``timeline`` subcommand renders a timeseries JSONL dump written by
+:class:`repro.obs.timeseries.TimeseriesCollector` (e.g. by
+``python -m repro.serve --timeline``): one row per window
+(rate/p50/p95/p99/drops) with update markers, then the update-impact
+table around each control-plane event.
 """
 
 from __future__ import annotations
@@ -583,11 +590,113 @@ def explain_main(argv) -> int:
     return 0
 
 
+# -- timeline: render a timeseries JSONL dump ----------------------------------------
+
+
+def render_timeline(header: dict, windows: List[dict], k: int = 2) -> str:
+    """Per-window rate/latency/drop table with update markers, plus the
+    update-impact section. Deterministic: a pure function of the file."""
+    from repro.obs.timeseries import update_impact, window_drops
+
+    lines: List[str] = []
+    head = "timeline"
+    for key in ("app", "level", "n_mes"):
+        if header.get(key) is not None:
+            head += "  %s=%s" % (key, header[key])
+    lines.append(head)
+    if header.get("churn"):
+        lines.append("churn: " + "  ".join(str(c) for c in header["churn"]))
+    lines.append("windows: %d x %g cycles (finished at %g)"
+                 % (len(windows), header.get("window_cycles", 0),
+                    header.get("finished_at") or 0))
+    lat = header.get("latency_total") or {}
+    if lat.get("count"):
+        lines.append("latency overall (cycles): n=%d  p50=%g  p95=%g  "
+                     "p99=%g  mean=%g  max=%g"
+                     % (lat["count"], lat.get("p50", 0), lat.get("p95", 0),
+                        lat.get("p99", 0), lat.get("mean", 0),
+                        lat.get("max", 0)))
+    lines.append("")
+
+    rows = []
+    for w in windows:
+        wl = w.get("latency") or {}
+        events = w.get("events") or []
+        marks = ",".join(str(e.get("churn") or e.get("kind", "?"))
+                         for e in events)
+        if w.get("partial"):
+            marks = (marks + " " if marks else "") + "(partial)"
+        rows.append([
+            "%d" % w.get("window", 0),
+            "%.0f" % w.get("t_start", 0.0),
+            "%.4f" % w.get("rate_gbps", 0.0),
+            "%g" % wl.get("p50", 0), "%g" % wl.get("p95", 0),
+            "%g" % wl.get("p99", 0), "%g" % window_drops(w),
+            ("* " + marks) if events else marks,
+        ])
+    _table(lines, ["win", "t_start", "gbps", "p50", "p95", "p99",
+                   "drops", "events"], rows)
+
+    impact = update_impact(windows, k=k)
+    if impact:
+        lines.append("")
+        lines.append("Update impact (mean over %d windows before/after):" % k)
+        rows = []
+        for r in impact:
+            b, d, a = r["before"], r["during"], r["after"]
+            rows.append([
+                "%d" % r["window"],
+                str(r.get("churn") or r.get("kind", "?")),
+                str(r.get("target", "")),
+                "%g" % b["p99"], "%g" % d["p99"], "%g" % a["p99"],
+                "%+g" % r["delta_p99"],
+                "%+.4f" % r["delta_rate_gbps"],
+                "%+g" % r["delta_drops"],
+            ])
+        _table(lines, ["win", "update", "target", "p99.before", "p99.during",
+                       "p99.after", "d(p99)", "d(gbps)", "d(drops)"], rows)
+    return "\n".join(lines)
+
+
+def timeline_main(argv) -> int:
+    from repro.obs.timeseries import load_timeseries
+
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.obs.report timeline",
+        description="Render a timeseries JSONL dump (written by "
+                    "repro.obs.timeseries / python -m repro.serve) as a "
+                    "per-window table with update-impact analysis.")
+    ap.add_argument("path", help="timeline JSONL file")
+    ap.add_argument("-k", type=int, default=2,
+                    help="impact windows before/after each update "
+                         "(default: %(default)s)")
+    args = ap.parse_args(argv)
+    if not os.path.exists(args.path):
+        print("error: no timeline file at %s (write one with "
+              "python -m repro.serve --timeline %s)" % (args.path, args.path),
+              file=sys.stderr)
+        return 1
+    try:
+        header, windows = load_timeseries(args.path)
+    except (OSError, json.JSONDecodeError) as exc:
+        print("error: cannot read timeline from %s: %s" % (args.path, exc),
+              file=sys.stderr)
+        return 1
+    if not windows:
+        print("error: %s holds no window records (is it a timeseries "
+              "dump?)" % args.path, file=sys.stderr)
+        return 1
+    print(render_timeline(header, windows, k=args.k))
+    return 0
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "explain":
         return explain_main(argv[1:])
+    if argv and argv[0] == "timeline":
+        return timeline_main(argv[1:])
     ap = argparse.ArgumentParser(
         prog="python -m repro.obs.report",
         description="Render a metrics JSONL dump as text.")

@@ -34,9 +34,9 @@ import json
 import os
 import sys
 import time
-from collections import Counter
+from collections import Counter, deque
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 #: Ring-name prefix of the buffer/metadata free lists.
 FREE_PREFIX = "ring.__"
@@ -74,17 +74,41 @@ class PacketTracer:
     bounds memory: once that many lifecycles have begun, new packets go
     untraced (counted in ``truncated``) while already-traced packets
     still complete, keeping every recorded begin/end pair balanced.
+
+    ``streaming=True`` reshapes the tracer for unbounded runs
+    (``repro.serve``): ``events`` and ``latencies`` become bounded rings
+    (oldest entries evicted, counted in ``events_truncated`` /
+    ``latencies_truncated``), latency percentiles come from an O(1)
+    :class:`~repro.obs.timeseries.QuantileSketch` instead of the full
+    list, completed packets are pruned from ``born`` (so the
+    ``max_packets`` guard bounds packets *in flight*, not the whole
+    run), and each forwarded latency is also pushed to ``latency_sink``
+    (the timeseries collector's per-window feed) when one is set.
     """
 
-    def __init__(self, max_packets: int = 100_000):
+    def __init__(self, max_packets: int = 100_000, streaming: bool = False,
+                 max_latencies: int = 4096, max_events: int = 16_384):
         self.max_packets = max_packets
-        self.events: List[TraceEvent] = []
+        self.streaming = streaming
         self.active: Dict[int, int] = {}       # handle -> packet id
         self.born: Dict[int, float] = {}       # packet id -> first-seen cycles
-        self.latencies: List[float] = []       # Rx->Tx cycles, forwarded only
+        self.born_total = 0                    # lifecycles begun, ever
         self.drops: Counter = Counter()        # cause -> count
         self.next_id = 1
         self.truncated = 0
+        self.events_truncated = 0
+        self.latencies_truncated = 0
+        self.latency_sink: Optional[Callable[[float], None]] = None
+        self.lat_sketch = None
+        if streaming:
+            from repro.obs.timeseries import QuantileSketch
+
+            self.events = deque(maxlen=max_events)
+            self.latencies = deque(maxlen=max_latencies)
+            self.lat_sketch = QuantileSketch()
+        else:
+            self.events: List[TraceEvent] = []
+            self.latencies: List[float] = []   # Rx->Tx cycles, forwarded only
         self.finished_at: Optional[float] = None
         # (me, thread) -> (handle, pkt id, start cycles): the packet the
         # thread is currently processing (PPF execution span).
@@ -94,7 +118,10 @@ class PacketTracer:
 
     def _emit(self, kind: str, t: float, pkt: Optional[int],
               **data: object) -> None:
-        self.events.append(TraceEvent(kind, t, pkt, data or None))
+        events = self.events
+        if self.streaming and len(events) == events.maxlen:
+            self.events_truncated += 1
+        events.append(TraceEvent(kind, t, pkt, data or None))
 
     def _begin(self, handle: int, t: float, origin: str) -> Optional[int]:
         old = self.active.get(handle)
@@ -109,6 +136,7 @@ class PacketTracer:
         self.next_id += 1
         self.active[handle] = pkt
         self.born[pkt] = t
+        self.born_total += 1
         self._emit("pkt_begin", t, pkt, origin=origin, handle=handle)
         return pkt
 
@@ -122,10 +150,20 @@ class PacketTracer:
             data["cause"] = cause
         if outcome == "tx":
             lat = t - self.born[pkt]
+            if self.streaming:
+                if len(self.latencies) == self.latencies.maxlen:
+                    self.latencies_truncated += 1
+                self.lat_sketch.add(lat)
+                if self.latency_sink is not None:
+                    self.latency_sink(lat)
             self.latencies.append(lat)
             data["latency_cycles"] = lat
         elif outcome == "drop":
             self.drops[cause or "unknown"] += 1
+        if self.streaming:
+            # Completed lifecycle: prune so born tracks packets in
+            # flight and long runs stay bounded.
+            self.born.pop(pkt, None)
         self._emit("pkt_end", t, pkt, **data)
 
     def _close_span(self, me: int, thread: int, t: float,
@@ -251,12 +289,23 @@ class PacketTracer:
     # -- summaries ---------------------------------------------------------------
 
     def latency_summary(self) -> Dict[str, float]:
-        """Rx->Tx latency percentiles over forwarded packets, cycles."""
+        """Rx->Tx latency percentiles over forwarded packets, cycles.
+
+        Exact (nearest-rank over the full list) in the default mode; in
+        streaming mode the percentiles come from the O(1) sketch over
+        *every* forwarded packet. ``truncated`` counts latency samples
+        evicted from the bounded ring (always 0 when not streaming), so
+        reports can show when the raw list is incomplete.
+        """
+        if self.streaming:
+            summ = self.lat_sketch.summary()
+            summ["truncated"] = self.latencies_truncated
+            return summ
         lats = sorted(self.latencies)
         n = len(lats)
         if n == 0:
             return {"count": 0, "min": 0.0, "p50": 0.0, "p95": 0.0,
-                    "p99": 0.0, "mean": 0.0, "max": 0.0}
+                    "p99": 0.0, "mean": 0.0, "max": 0.0, "truncated": 0}
         return {
             "count": n,
             "min": lats[0],
@@ -265,6 +314,7 @@ class PacketTracer:
             "p99": _percentile(lats, 0.99),
             "mean": sum(lats) / n,
             "max": lats[-1],
+            "truncated": 0,
         }
 
     # -- export ------------------------------------------------------------------
@@ -281,9 +331,12 @@ class PacketTracer:
             os.makedirs(d, exist_ok=True)
         with open(path, "w") as fh:
             meta = {"kind": "trace_meta", "t": 0.0,
-                    "packets": len(self.born),
+                    "packets": self.born_total,
                     "truncated": self.truncated,
                     "finished_at": self.finished_at}
+            if self.streaming:
+                meta["streaming"] = True
+                meta["events_truncated"] = self.events_truncated
             fh.write(json.dumps(meta) + "\n")
             for rec in self.event_dicts():
                 fh.write(json.dumps(rec) + "\n")
@@ -304,7 +357,10 @@ def record_trace_summary(reg, tracer: PacketTracer) -> None:
     for stat in ("count", "min", "p50", "p95", "p99", "mean", "max"):
         reg.gauge("sim.pkt.latency_cycles", stat=stat).set(
             round(summ[stat], 3))
-    reg.gauge("sim.pkt.traced").set(len(tracer.born))
+    if summ.get("truncated"):
+        reg.gauge("sim.pkt.latency_cycles", stat="truncated").set(
+            summ["truncated"])
+    reg.gauge("sim.pkt.traced").set(tracer.born_total)
     reg.gauge("sim.pkt.untraced").set(tracer.truncated)
     for cause, n in sorted(tracer.drops.items()):
         reg.gauge("sim.pkt.drops", cause=cause).set(n)

@@ -63,6 +63,7 @@ def run_on_simulator(
     trace_events_jsonl: Optional[str] = None,
     dispatch: Optional[str] = None,
     registry: Optional[obs_metrics.MetricsRegistry] = None,
+    timeseries=None,
 ) -> RunResult:
     """Load and run a compiled program; measure steady-state behavior.
 
@@ -94,6 +95,13 @@ def run_on_simulator(
     and chip instrumentation see it too). The sweep orchestrator uses
     this to give every job its own mergeable metric set; measured
     numbers are unaffected.
+
+    ``timeseries`` attaches a
+    :class:`repro.obs.timeseries.TimeseriesCollector` as the chip's
+    window hook: per-window rate/latency/drop records over simulated
+    time, closed by the run loop's boundary pull and finalized at the
+    end of the run. Pure observation -- runs with and without a
+    collector are bit-identical (tests/test_obs.py).
     """
     if registry is not None:
         with obs_metrics.scoped_registry(registry):
@@ -102,7 +110,8 @@ def run_on_simulator(
                 measure_packets=measure_packets, offered_gbps=offered_gbps,
                 max_cycles=max_cycles, metrics_jsonl=metrics_jsonl,
                 tracer=tracer, trace_json=trace_json,
-                trace_events_jsonl=trace_events_jsonl, dispatch=dispatch)
+                trace_events_jsonl=trace_events_jsonl, dispatch=dispatch,
+                timeseries=timeseries)
     reg = obs_metrics.get_registry()
     trace_json = trace_json or os.environ.get("REPRO_TRACE_JSON")
     if tracer is None and (trace_json or trace_events_jsonl):
@@ -118,6 +127,11 @@ def run_on_simulator(
         chip.sampler = SimSampler(chip, reg)
     if tracer is not None:
         chip.tracer = tracer
+    if timeseries is not None:
+        # Windowed streaming observability (repro.obs.timeseries):
+        # pulled by the run loop like the sampler, pure observation.
+        timeseries.attach(rx=rx, tx=tx, tracer=tracer)
+        chip.window = timeseries
 
     target = warmup_packets + measure_packets
     with reg.timer("sim.wall").time():
@@ -177,6 +191,8 @@ def run_on_simulator(
         tracer.finish(chip.now)
         if reg.enabled:
             obs_trace.record_trace_summary(reg, tracer)
+    if timeseries is not None:
+        timeseries.finish(chip.now)
 
     if reg.enabled:
         record_run_summary(reg, chip, rx, tx)

@@ -1,0 +1,184 @@
+"""Control-plane churn: scheduled live table mutations on a running chip.
+
+A :class:`ChurnSpec` (parsed from the CLI's ``--churn`` syntax)
+describes *when* updates happen, in window coordinates; the
+deterministic mutation helpers in :mod:`repro.apps.tables` describe
+*what* each update writes. :class:`ControlPlane` applies them on the
+simulated XScale path: the store goes through the same
+:class:`~repro.ixp.xscale_core.SimGlobals` adapter compiled control
+code uses, and when the target global is SWC-cached (§5.2) the
+``<name>.__swc_flag`` scratch word is raised exactly as the compiler's
+instrumented stores do -- so the MEs keep serving cached values until
+their periodic flag check flushes the CAM. That delayed-coherency
+window is what the serve harness measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.apps.tables import (
+    TableMutation,
+    firewall_rule_mutations,
+    mpls_label_mutations,
+    route_flap_mutations,
+)
+from repro.ixp.xscale_core import SimGlobals
+
+#: churn kind -> the app whose tables it mutates.
+CHURN_KINDS = {
+    "route-flap": "l3switch",
+    "fw-toggle": "firewall",
+    "mpls-relabel": "mpls",
+}
+
+
+@dataclass
+class ChurnSpec:
+    """``kind:n=<count>,start=<window>,every=<windows>`` -- ``count``
+    updates, the first in window ``start``, then one every ``every``
+    windows (each applied mid-window)."""
+
+    kind: str
+    count: int = 4
+    start: int = 4
+    every: int = 4
+
+    def to_string(self) -> str:
+        return "%s:n=%d,start=%d,every=%d" % (self.kind, self.count,
+                                              self.start, self.every)
+
+
+def parse_churn_spec(text: str) -> ChurnSpec:
+    kind, _, rest = text.partition(":")
+    if kind not in CHURN_KINDS:
+        raise ValueError("unknown churn kind %r (choose from %s)"
+                         % (kind, ", ".join(sorted(CHURN_KINDS))))
+    spec = ChurnSpec(kind)
+    if rest:
+        for item in rest.split(","):
+            if not item:
+                continue
+            key, _, value = item.partition("=")
+            if key == "n":
+                spec.count = int(value)
+            elif key == "start":
+                spec.start = int(value)
+            elif key == "every":
+                spec.every = max(1, int(value))
+            else:
+                raise ValueError("unknown churn option %r in %r"
+                                 % (key, text))
+    if spec.count < 1 or spec.start < 0:
+        raise ValueError("churn spec %r needs n >= 1 and start >= 0" % text)
+    return spec
+
+
+def build_mutations(app_name: str, app, spec: ChurnSpec,
+                    seed: int) -> List[TableMutation]:
+    """The spec's mutation sequence against this app's tables."""
+    if CHURN_KINDS[spec.kind] != app_name:
+        raise ValueError("churn kind %r mutates %s tables, not %s"
+                         % (spec.kind, CHURN_KINDS[spec.kind], app_name))
+    if spec.kind == "route-flap":
+        return route_flap_mutations(app.routes, spec.count, seed=seed)
+    if spec.kind == "fw-toggle":
+        return firewall_rule_mutations(app.config, spec.count, seed=seed)
+    return mpls_label_mutations(app.config, spec.count, seed=seed)
+
+
+def schedule_times(spec: ChurnSpec, window_cycles: float,
+                   count: int) -> List[float]:
+    """Mid-window apply times for the first ``count`` updates."""
+    return [(spec.start + j * spec.every + 0.5) * window_cycles
+            for j in range(count)]
+
+
+class ControlPlane:
+    """Applies scheduled mutations to live chip memory, XScale-style."""
+
+    def __init__(self, chip, layout, collector=None):
+        self.chip = chip
+        self.layout = layout
+        self.collector = collector
+        self.globals = SimGlobals(chip, layout)
+        self.applied: List[Tuple[float, TableMutation]] = []
+
+    def schedule(self, timed: List[Tuple[float, TableMutation]]) -> None:
+        for t, mut in timed:
+            self.chip.schedule(t, self._action(mut))
+
+    def _action(self, mut: TableMutation):
+        def apply_update():
+            self.apply(mut)
+            return None
+
+        return apply_update
+
+    def apply(self, mut: TableMutation) -> None:
+        chip = self.chip
+        current = self.globals.load(mut.target, mut.offset, mut.width)
+        if current != mut.old_value:
+            raise RuntimeError(
+                "control-plane update %s expected %#x in memory, found %#x "
+                "(table layout drift?)" % (mut.describe(), mut.old_value,
+                                           current))
+        self.globals.store(mut.target, mut.offset, mut.new_value, mut.width)
+        flag = mut.target + ".__swc_flag"
+        swc_flagged = flag in self.layout.global_addr
+        if swc_flagged:
+            # Exactly what an SWC-instrumented StoreG does: raise the
+            # update flag; MEs flush their CAM at the next periodic
+            # check, serving stale values until then.
+            self.globals.store(flag, 0, 1, 4)
+        self.applied.append((chip.now, mut))
+        if self.collector is not None:
+            self.collector.registry.counter(
+                "updates", kind=mut.kind).inc()
+            self.collector.annotate(
+                chip.now, "update", churn=mut.kind,
+                target="%s[%d]" % (mut.target, mut.index),
+                swc_flagged=swc_flagged)
+
+
+# -- stale-traffic probes ---------------------------------------------------------
+
+ETH_TYPE_MPLS = 0x8847
+
+
+def stale_tx_counts(tx_records,
+                    applied: List[Tuple[float, TableMutation]]
+                    ) -> List[int]:
+    """Per-update count of Tx frames that carry a *retired* value after
+    the update was applied.
+
+    ``route-flap`` retires a destination MAC, ``mpls-relabel`` retires
+    an outgoing label; both are drawn from reserved ranges so a late
+    match is provably stale data-plane state (the SWC coherency
+    window). Updates without a stale probe (``fw-toggle``) count 0.
+    """
+    out: List[int] = []
+    for t_apply, mut in applied:
+        stale = 0
+        mac = mut.probe.get("stale_dst_mac")
+        label = mut.probe.get("stale_mpls_label")
+        if mac is not None:
+            needle = mac.to_bytes(6, "big")
+            stale = sum(1 for r in tx_records
+                        if r.time > t_apply and r.payload[:6] == needle)
+        elif label is not None:
+            for r in tx_records:
+                if r.time <= t_apply or len(r.payload) < 18:
+                    continue
+                if r.payload[12:14] != ETH_TYPE_MPLS.to_bytes(2, "big"):
+                    continue
+                top = int.from_bytes(r.payload[14:18], "big") >> 12
+                if top == label:
+                    stale += 1
+        out.append(stale)
+    return out
+
+
+def drop_cause_totals(tracer) -> Dict[str, int]:
+    return {cause: int(n) for cause, n in sorted(tracer.drops.items())}

@@ -66,14 +66,17 @@ def _atomic_write_json(path: str, data: Dict) -> None:
         raise
 
 
-def merge_bench_json(path: str, figure: str, payload: Dict) -> str:
+def merge_bench_json(path: str, figure: str, payload: Dict,
+                     kind: str = "bench") -> str:
     """Merge ``payload`` into the bench file at ``path``.
 
     Top-level keys merge key-wise when both sides are dicts, otherwise
     the new value wins; ``kind``/``figure`` are stamped *after* the
-    merge so nothing in an existing file can shadow them. The whole
-    read-merge-write runs atomically under :func:`locked`. Output is
-    deterministic: stable key order, no timestamps.
+    merge so nothing in an existing file can shadow them (``kind``
+    defaults to ``"bench"``; the serve harness writes
+    ``"bench_churn"``). The whole read-merge-write runs atomically
+    under :func:`locked`. Output is deterministic: stable key order, no
+    timestamps.
     """
     with locked(path):
         data: Dict = {}
@@ -90,7 +93,7 @@ def merge_bench_json(path: str, figure: str, payload: Dict) -> str:
                 data[key].update(value)
             else:
                 data[key] = value
-        data["kind"] = "bench"
+        data["kind"] = kind
         data["figure"] = figure
         _atomic_write_json(path, data)
     return path

@@ -307,6 +307,39 @@ def test_obs_enabled_run_is_bit_identical(clean_obs, tmp_path):
     assert "Rx/Tx:" in text
 
 
+def test_timeseries_attached_run_is_bit_identical():
+    """Attaching a TimeseriesCollector (the streaming window hook) must
+    not perturb the simulation in any observable way: the zero-impact
+    proof for the serve/observability stack."""
+    from repro.obs.timeseries import TimeseriesCollector
+
+    result, trace = _mini_result()
+    kwargs = dict(n_mes=2, warmup_packets=30, measure_packets=90)
+
+    off = run_on_simulator(result, trace, **kwargs)
+    collector = TimeseriesCollector(window_cycles=5_000.0)
+    on = run_on_simulator(result, trace, timeseries=collector, **kwargs)
+
+    assert on.forwarding_gbps == off.forwarding_gbps
+    assert on.packets_measured == off.packets_measured
+    assert on.packets_out == off.packets_out
+    assert on.rx_offered == off.rx_offered
+    assert on.rx_dropped == off.rx_dropped
+    assert on.sim_cycles == off.sim_cycles
+    assert on.me_utilization == off.me_utilization
+    assert on.access_profile.row() == off.access_profile.row()
+    assert on.me_executed_instrs == off.me_executed_instrs
+    assert on.me_times == off.me_times
+    assert on.tx_signature() == off.tx_signature()
+
+    # ... and the collector actually observed the run.
+    assert collector.windows
+    assert collector.finished_at == on.sim_cycles
+    total_tx = sum(w["counters"].get("tx.packets", 0)
+                   for w in collector.windows)
+    assert total_tx == on.packets_out
+
+
 def test_report_main_exits_nonzero_on_bad_input(tmp_path, capsys):
     from repro.obs.report import main as report_main
 
