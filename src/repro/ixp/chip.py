@@ -50,6 +50,12 @@ class IXP2400:
         # the same timestamp runs, so a control-plane action at exactly
         # boundary k*W annotates window k.
         self.window = None
+        # Optional repro.obs.profile.StallProfiler (attach via its
+        # attach()): MEs classify thread bursts and blocking waits
+        # through this reference, and run() pulls its optional
+        # occupancy samples via the same next_t contract (next_t stays
+        # +inf when time sampling is off). Pure observation.
+        self.profiler = None
 
     # -- symbols / rings ---------------------------------------------------------
 
@@ -134,6 +140,7 @@ class IXP2400:
         countdown = stop_check_interval
         sampler = self.sampler
         window = self.window
+        profiler = self.profiler
         events = self._events
         pop = heapq.heappop
         push = heapq.heappush
@@ -160,6 +167,12 @@ class IXP2400:
                 # window, and all of them close before this action runs.
                 while now >= window.next_t:
                     window.tick(window.next_t)
+            if profiler is not None:
+                # Occupancy/queue-depth samples on the same grid
+                # contract (a single always-false compare when the
+                # profiler's time sampling is disabled).
+                while now >= profiler.next_t:
+                    profiler.tick(profiler.next_t)
             nxt = action()
             if nxt is not None:
                 # Re-arm at the requested time; past-due times collapse to

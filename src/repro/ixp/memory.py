@@ -97,6 +97,11 @@ class MemorySystem:
             "dram": MemoryChannel("dram", DRAM),
         }
         self.counters = Counters()
+        # Optional repro.obs.profile.StallProfiler: records per-request
+        # channel queueing delay. Pure observation -- every timed entry
+        # point guards with ``is not None`` and only feeds profiler-side
+        # accumulators, so attaching one cannot change completion times.
+        self.profiler = None
 
     # -- data access (big-endian words) ------------------------------------------
 
@@ -161,6 +166,9 @@ class MemorySystem:
             start = now
         ch.next_free = start + occupancy
         ch.busy_time += occupancy
+        prof = self.profiler
+        if prof is not None:
+            prof.note_mem(ch.name, start - now)
         return start + occupancy + p.latency
 
     def timed_read(self, now: float, space: str, nwords: int,
@@ -184,6 +192,9 @@ class MemorySystem:
             start = now
         ch.next_free = start + occupancy
         ch.busy_time += occupancy
+        prof = self.profiler
+        if prof is not None:
+            prof.note_mem(ch.name, start - now)
         store = self.stores[space]
         end = addr + nwords * 4
         if addr < 0 or end > len(store):
@@ -218,6 +229,9 @@ class MemorySystem:
             start = now
         ch.next_free = start + occupancy
         ch.busy_time += occupancy
+        prof = self.profiler
+        if prof is not None:
+            prof.note_mem(ch.name, start - now)
         store = self.stores[space]
         if addr < 0 or addr + len(values) * 4 > len(store):
             raise IndexError("%s write out of range at %#x" % (space, addr))

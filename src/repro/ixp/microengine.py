@@ -196,6 +196,7 @@ class Microengine:
         threads = self.threads
         n = len(threads)
         executed = 0
+        prof = self.chip.profiler
         try:
             while time < deadline:
                 t = self.resume_thread
@@ -234,6 +235,7 @@ class Microengine:
                             self.idle_time += nxt - time
                             return nxt
                         raise self._stuck_error(nxt)
+                t0 = time
                 while True:
                     tm = prog[t.pc](self, t, deadline)
                     executed += 1
@@ -244,6 +246,8 @@ class Microengine:
                         self.resume_thread = t
                         time = tm
                         break
+                if prof is not None:
+                    prof.note_burst(self.index, t.index, t0, time)
             return time
         finally:
             self.executed_instrs += executed
@@ -264,6 +268,8 @@ class Microengine:
         insns = self.insns
         executed = 0
         cycles = 0
+        prof = self.chip.profiler
+        t0 = self.time
         try:
             while True:
                 insn = insns[t.pc]
@@ -285,6 +291,8 @@ class Microengine:
             raise
         finally:
             self.executed_instrs += executed
+            if prof is not None:
+                prof.note_burst(self.index, t.index, t0, self.time)
 
     def _run_thread_fast(self, t: Thread, deadline: float) -> None:
         """Predecoded dispatch core: a tight loop over fused
@@ -302,6 +310,8 @@ class Microengine:
         if prog is None:
             prog = self._prog = self.image.predecoded(self.chip)
         executed = 0
+        prof = self.chip.profiler
+        t0 = self.time
         try:
             while True:
                 tm = prog[t.pc](self, t, deadline)
@@ -313,6 +323,8 @@ class Microengine:
                     return
         finally:
             self.executed_instrs += executed
+            if prof is not None:
+                prof.note_burst(self.index, t.index, t0, self.time)
 
     # -- operand helpers ----------------------------------------------------------------
 
@@ -448,6 +460,10 @@ def _h_mem(me, t, insn) -> bool:
         if insn.mask_reg is not None:
             mask = me.value(t, insn.mask_reg)
         mem.write_words(insn.space, addr, values, mask)
+    prof = me.chip.profiler
+    if prof is not None:
+        prof.note_block(me.index, t.index, "mem_" + insn.space,
+                        me.time, done)
     t.pc += 1
     t.wake = done
     return True  # swap out until the reference completes
@@ -461,6 +477,11 @@ def _h_ring_get(me, t, insn) -> bool:
     tracer = me.chip.tracer
     if tracer is not None:
         tracer.me_ring_get(me.index, t.index, insn.ring.name, value, me.time)
+    prof = me.chip.profiler
+    if prof is not None:
+        prof.note_block(me.index, t.index,
+                        "ring_empty" if value == 0 else "mem_scratch",
+                        me.time, done)
     t.pc += 1
     t.wake = done
     return True
@@ -475,6 +496,11 @@ def _h_ring_put(me, t, insn) -> bool:
     if tracer is not None:
         tracer.me_ring_put(me.index, t.index, insn.ring.name, value,
                            me.time, ok)
+    prof = me.chip.profiler
+    if prof is not None:
+        prof.note_block(me.index, t.index,
+                        "mem_scratch" if ok else "ring_full",
+                        me.time, done)
     t.pc += 1
     t.wake = done
     return True
@@ -486,6 +512,9 @@ def _h_tas(me, t, insn) -> bool:
     old = me.chip.memory.read_words("scratch", addr, 1)[0]
     me.chip.memory.write_words("scratch", addr, [1])
     t.set(insn.dst, old)
+    prof = me.chip.profiler
+    if prof is not None:
+        prof.note_block(me.index, t.index, "mem_scratch", me.time, done)
     t.pc += 1
     t.wake = done
     return True
@@ -495,6 +524,9 @@ def _h_release(me, t, insn) -> bool:
     addr = me.value(t, insn.addr_a)
     done = me.chip.memory.timed_access(me.time, "scratch", 1, isa.CAT_APP)
     me.chip.memory.write_words("scratch", addr, [0])
+    prof = me.chip.profiler
+    if prof is not None:
+        prof.note_block(me.index, t.index, "mem_scratch", me.time, done)
     t.pc += 1
     t.wake = done
     return True
@@ -542,6 +574,9 @@ def _h_cam_clear(me, t, insn) -> bool:
 
 
 def _h_ctx_arb(me, t, insn) -> bool:
+    prof = me.chip.profiler
+    if prof is not None:
+        prof.note_block(me.index, t.index, "ctx_arb", me.time, me.time + 1)
     t.pc += 1
     t.wake = me.time + 1
     return True  # voluntary yield

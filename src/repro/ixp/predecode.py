@@ -457,6 +457,9 @@ def _charge_lines(b, space: str, words: int, category: str) -> List[str]:
               "    start = tm",
               "ch.next_free = start + occ",
               "ch.busy_time += occ",
+              "mprof = mem.profiler",
+              "if mprof is not None:",
+              "    mprof.note_mem(ch.name, start - tm)",
               "done = start + occ + pp.latency"]
     return lines
 
@@ -514,6 +517,10 @@ def _e_mem(b: _RunBuilder, insn, idx):
                 tail.append("store[%s : addr + %d] = ((%s) & %s)"
                             ".to_bytes(4, 'big')"
                             % (lo, 4 * i + 4, expr, _MASK))
+    tail += ["prof = me.chip.profiler",
+             "if prof is not None:",
+             "    prof.note_block(me.index, t.index, 'mem_%s', tm, done)"
+             % space]
     b.close_terminal(tail + _block_tail(b, idx + 1))
 
 
@@ -531,7 +538,11 @@ def _e_ring_get(b, insn, idx):
          "%s = value" % dex,
          "tracer = chip.tracer",
          "if tracer is not None:",
-         "    tracer.me_ring_get(me.index, t.index, %s, value, tm)" % name]
+         "    tracer.me_ring_get(me.index, t.index, %s, value, tm)" % name,
+         "prof = chip.profiler",
+         "if prof is not None:",
+         "    prof.note_block(me.index, t.index,"
+         " 'ring_empty' if value == 0 else 'mem_scratch', tm, done)"]
         + _block_tail(b, idx + 1))
 
 
@@ -550,7 +561,11 @@ def _e_ring_put(b, insn, idx):
          "tracer = chip.tracer",
          "if tracer is not None:",
          "    tracer.me_ring_put(me.index, t.index, %s, value, tm, ok)"
-         % name]
+         % name,
+         "prof = chip.profiler",
+         "if prof is not None:",
+         "    prof.note_block(me.index, t.index,"
+         " 'mem_scratch' if ok else 'ring_full', tm, done)"]
         + _block_tail(b, idx + 1))
 
 
@@ -565,7 +580,10 @@ def _e_tas(b, insn, idx):
          "done = mem.timed_access(tm, 'scratch', 1, '%s')" % CAT_APP,
          "old = mem.read_words('scratch', addr, 1)[0]",
          "mem.write_words('scratch', addr, [1])",
-         "%s = old" % dex]
+         "%s = old" % dex,
+         "prof = me.chip.profiler",
+         "if prof is not None:",
+         "    prof.note_block(me.index, t.index, 'mem_scratch', tm, done)"]
         + _block_tail(b, idx + 1))
 
 
@@ -577,7 +595,10 @@ def _e_release(b, insn, idx):
          "mem = me.chip.memory",
          "addr = %s" % aex,
          "done = mem.timed_access(tm, 'scratch', 1, '%s')" % CAT_APP,
-         "mem.write_words('scratch', addr, [0])"]
+         "mem.write_words('scratch', addr, [0])",
+         "prof = me.chip.profiler",
+         "if prof is not None:",
+         "    prof.note_block(me.index, t.index, 'mem_scratch', tm, done)"]
         + _block_tail(b, idx + 1))
 
 
@@ -661,6 +682,10 @@ def _e_cam_clear(b, insn, idx):
 def _e_ctx_arb(b, insn, idx):
     b.close_terminal([b.total(insn.cycles),
                       "me.time = tm",
+                      "prof = me.chip.profiler",
+                      "if prof is not None:",
+                      "    prof.note_block(me.index, t.index, 'ctx_arb',"
+                      " tm, tm + 1)",
                       "t.pc = %s" % b.p("P", idx + 1),
                       "t.wake = tm + 1"]
                      + _exec_add(b.k)

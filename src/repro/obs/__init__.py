@@ -46,6 +46,16 @@ _TRACE_EXPORTS = frozenset([
     "record_trace_summary",
 ])
 
+# Same PEP 562 treatment for the stall-cycle attribution profiler.
+_PROFILE_EXPORTS = frozenset([
+    "StallProfiler",
+    "aggregate_attribution",
+    "attribution_shares",
+    "bottleneck_verdict",
+    "channel_utilization",
+    "occupancy_cell",
+])
+
 # Same PEP 562 treatment for repro.obs.timeseries (keeps the windowed
 # observability machinery out of processes that never use it).
 _TIMESERIES_EXPORTS = frozenset([
@@ -77,6 +87,10 @@ def __getattr__(name):
         from repro.obs import trace
 
         return getattr(trace, name)
+    if name in _PROFILE_EXPORTS:
+        from repro.obs import profile
+
+        return getattr(profile, name)
     if name in _TIMESERIES_EXPORTS:
         from repro.obs import timeseries
 
@@ -112,9 +126,15 @@ __all__ = [
     "QuantileSketch",
     "Series",
     "SimSampler",
+    "StallProfiler",
     "StreamingQuantile",
     "Timer",
     "TimeseriesCollector",
+    "aggregate_attribution",
+    "attribution_shares",
+    "bottleneck_verdict",
+    "channel_utilization",
+    "occupancy_cell",
     "load_timeseries",
     "update_impact",
     "window_drops",

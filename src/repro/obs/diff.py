@@ -8,8 +8,11 @@ Usage::
 
 The file kind is auto-detected from the ``kind`` field written by
 :mod:`repro.obs.ledger` (``compile_report``),
-``benchmarks/figures_common.py`` (``bench``), and the serve harness
-(``bench_churn``).
+``benchmarks/figures_common.py`` (``bench``), the serve harness
+(``bench_churn``), and the sweep's stall-attribution profiler
+(``bench_occupancy``). A file whose ``kind`` is none of those is an
+error (exit :data:`EXIT_REGRESSION`), never silently treated as an
+empty diff -- a typo'd or future-format file must fail CI loudly.
 
 * **compile report vs compile report** -- prints decision-count deltas
   per pass/verdict plus summary deltas (IR size, image code size,
@@ -26,6 +29,12 @@ The file kind is auto-detected from the ``kind`` field written by
   gates the serve harness: mean forwarding rate must not drop and
   overall p99 latency must not grow beyond ``--tolerance``, and the
   number of applied control-plane updates must not change.
+* **occupancy bench vs occupancy bench** (``python -m repro.sweep
+  --profile`` output) -- gates the stall-cycle attribution: a cell's
+  bottleneck verdict (kind or saturated channel) must not change, no
+  cell may vanish, rates must not drop beyond ``--tolerance``
+  (fractional), and no attribution share may shift beyond
+  ``--tolerance`` (absolute).
 
 Two identical files always diff clean and exit 0.
 """
@@ -41,6 +50,20 @@ from typing import Dict, List, Optional, Tuple
 #: Exit code for a gated regression (1 is reserved for usage/IO errors).
 EXIT_REGRESSION = 2
 
+#: Every file format this tool knows how to diff.
+KNOWN_KINDS = ("compile_report", "bench", "bench_churn", "bench_occupancy")
+
+
+class SystemExit2(Exception):
+    """IO/usage error carrying a message (exit code 1)."""
+
+
+class UnknownKindError(SystemExit2):
+    """A file whose ``kind`` this tool does not understand. Fatal at
+    :data:`EXIT_REGRESSION` (not 1): CI pipelines feed this tool files
+    they *believe* are gateable, so a format mismatch must read as a
+    failed gate, never as a clean empty diff."""
+
 
 def _load(path: str) -> dict:
     if not os.path.exists(path):
@@ -54,11 +77,11 @@ def _load(path: str) -> dict:
         raise SystemExit2(
             "%s has no 'kind' field -- not a compile report or bench file"
             % path)
+    if data["kind"] not in KNOWN_KINDS:
+        raise UnknownKindError(
+            "%s has unknown kind %r (known: %s)"
+            % (path, data["kind"], ", ".join(KNOWN_KINDS)))
     return data
-
-
-class SystemExit2(Exception):
-    """IO/usage error carrying a message (exit code 1)."""
 
 
 # -- compile report vs compile report -------------------------------------------------
@@ -271,6 +294,77 @@ def diff_churn(old: dict, new: dict,
     return lines, regressions
 
 
+# -- occupancy bench vs occupancy bench -----------------------------------------------
+
+
+def diff_occupancy(old: dict, new: dict,
+                   tolerance: float) -> Tuple[List[str], List[str]]:
+    """Gate the sweep's BENCH_occupancy.json (stall-cycle attribution):
+    the *explanation* of each rate point is part of the benchmark, so a
+    changed bottleneck verdict is a regression just like a dropped
+    rate. ``tolerance`` is fractional for rates and absolute for
+    attribution shares (a share is already a fraction of total
+    cycles)."""
+    lines: List[str] = []
+    regressions: List[str] = []
+    o_cells = old.get("cells") or {}
+    n_cells = new.get("cells") or {}
+    lines.append("occupancy bench diff: %d -> %d cells"
+                 % (len(o_cells), len(n_cells)))
+
+    changed = False
+    for key in sorted(set(o_cells) | set(n_cells)):
+        a, b = o_cells.get(key), n_cells.get(key)
+        if a is None:
+            lines.append("  %s: only in new file" % key)
+            changed = True
+            continue
+        if b is None:
+            lines.append("  %s: vanished" % key)
+            regressions.append("cell %s vanished from the new file" % key)
+            changed = True
+            continue
+        if a == b:
+            continue
+        changed = True
+
+        ov, nv = a.get("verdict") or {}, b.get("verdict") or {}
+        if (ov.get("kind"), ov.get("channel")) != (nv.get("kind"),
+                                                   nv.get("channel")):
+            lines.append("  %s: verdict %s/%s -> %s/%s" % (
+                key, ov.get("kind"), ov.get("channel"),
+                nv.get("kind"), nv.get("channel")))
+            regressions.append(
+                "%s: bottleneck verdict changed %s(%s) -> %s(%s)"
+                % (key, ov.get("kind"), ov.get("channel"),
+                   nv.get("kind"), nv.get("channel")))
+
+        ra, rb = a.get("rate_gbps", 0.0), b.get("rate_gbps", 0.0)
+        if ra != rb:
+            lines.append("  %s: rate %.3f -> %.3f Gbps" % (key, ra, rb))
+        if ra > 0 and rb < ra * (1 - tolerance):
+            regressions.append(
+                "%s: rate dropped %.3f -> %.3f Gbps (-%.1f%%, tolerance "
+                "%.0f%%)" % (key, ra, rb, 100 * (ra - rb) / ra,
+                             100 * tolerance))
+
+        o_sh, n_sh = a.get("shares") or {}, b.get("shares") or {}
+        for cat in sorted(set(o_sh) | set(n_sh)):
+            sa, sb = o_sh.get(cat, 0.0), n_sh.get(cat, 0.0)
+            if sa == sb:
+                continue
+            lines.append("  %s: share[%s] %.4f -> %.4f" % (key, cat,
+                                                           sa, sb))
+            if abs(sb - sa) > tolerance:
+                regressions.append(
+                    "%s: %s share shifted %.4f -> %.4f (|delta| %.4f > "
+                    "tolerance %.4f)" % (key, cat, sa, sb,
+                                         abs(sb - sa), tolerance))
+    if not changed:
+        lines.append("  cells identical")
+    return lines, regressions
+
+
 # -- CLI ------------------------------------------------------------------------------
 
 
@@ -294,8 +388,15 @@ def run_diff(old_path: str, new_path: str, tolerance: float = 0.05,
         lines, regressions = diff_churn(old, new, tolerance)
         fatal = bool(regressions) if gate is None else bool(gate and
                                                             regressions)
+    elif old["kind"] == "bench_occupancy":
+        lines, regressions = diff_occupancy(old, new, tolerance)
+        fatal = bool(regressions) if gate is None else bool(gate and
+                                                            regressions)
     else:
-        raise SystemExit2("unsupported kind %r" % old["kind"])
+        # _load() already validated against KNOWN_KINDS; keep the
+        # dispatch total anyway so a kind added there without a branch
+        # here fails loudly instead of falling through.
+        raise UnknownKindError("unsupported kind %r" % old["kind"])
     if regressions:
         lines.append("REGRESSIONS:")
         lines.extend("  " + r for r in regressions)
@@ -323,6 +424,9 @@ def main(argv=None) -> int:
     try:
         text, code = run_diff(args.old, args.new, args.tolerance,
                               gate=True if args.gate else None)
+    except UnknownKindError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return EXIT_REGRESSION
     except SystemExit2 as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 1

@@ -1,0 +1,427 @@
+"""Stall-cycle attribution profiler (`repro.obs.profile`).
+
+Classifies every simulated cycle of every ME thread into one of
+
+* ``exec``        -- the thread was executing instructions,
+* ``mem_scratch`` / ``mem_sram`` / ``mem_dram`` -- swapped out waiting on
+  a memory reference, split by the *logical* channel the reference used
+  (both physical SRAM channels report as ``mem_sram``; successful
+  ring/atomic ops are scratch references and count as ``mem_scratch``),
+* ``ring_empty``  -- the wait behind a ``ring_get`` that found the ring
+  empty (an input-starved consumer polling),
+* ``ring_full``   -- the wait behind a ``ring_put`` the ring rejected
+  (back-pressure from a full downstream queue),
+* ``ctx_arb``     -- voluntary yields,
+* ``idle``        -- the residual: the ME clock advanced but this thread
+  neither ran nor waited on anything it issued (no work available, or
+  other threads held the engine).
+
+Attribution is recorded at *event* time by hooks in both dispatch cores
+(legacy handler table and predecoded fast path): a thread burst adds
+``me.time`` deltas to ``exec``; a blocking instruction adds
+``wake - issue_time`` to its category.  ``idle`` is computed as an exact
+residual against the ME clock at snapshot time -- so per-thread
+attribution sums to the ME's total simulated cycles by construction
+(the invariant tests/test_profile.py asserts).  A thread whose final
+wait extends past the end of the run has the overshoot clamped off its
+last category.
+
+The profiler also samples the memory channels (per-request queueing
+delay in :meth:`MemorySystem.timed_*`) and the scratch rings (occupancy
+after every put/get), and -- when built with ``sample_cycles`` -- records
+a time series of per-ME busy cycles and per-channel queue backlog,
+pulled by :meth:`IXP2400.run` through the same ``next_t`` catch-up
+contract as the sampler and window hooks.
+
+Like every obs layer before it the profiler is *pure observation*: off
+by default, attached via :meth:`attach`, every hook guards with
+``is not None``, and profiled runs are bit-identical to unprofiled ones
+(tests/test_profile.py).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+#: Wait categories, in the fixed order used for residual computation,
+#: payloads and reports (exec and idle bracket them).
+WAIT_CATEGORIES = ("mem_scratch", "mem_sram", "mem_dram",
+                   "ring_empty", "ring_full", "ctx_arb")
+
+#: All attribution categories in report order.
+CATEGORIES = ("exec",) + WAIT_CATEGORIES + ("idle",)
+
+#: A physical channel is considered saturated (memory-bound) above this
+#: busy fraction of the run.
+SATURATION_UTILIZATION = 0.75
+
+#: ring_empty share above which a cell is called input-starved.
+STARVED_SHARE = 0.30
+
+#: Default profile-sample spacing when time sampling is requested.
+SAMPLE_INTERVAL_CYCLES = 20_000.0
+
+#: Logical channel -> wait category / display name.
+_CHANNEL_WAIT = {"scratch": "mem_scratch", "sram": "mem_sram",
+                 "dram": "mem_dram"}
+_CHANNEL_LABEL = {"scratch": "Scratch", "sram": "SRAM", "dram": "DRAM"}
+
+
+class _ThreadAttribution:
+    """Raw per-(ME, thread) accumulators."""
+
+    __slots__ = ("exec_cycles", "wait", "blocks", "last_cat", "last_wake")
+
+    def __init__(self):
+        self.exec_cycles = 0.0
+        self.wait: Dict[str, float] = {}
+        self.blocks: Dict[str, int] = {}
+        self.last_cat: Optional[str] = None
+        self.last_wake = 0.0
+
+
+class StallProfiler:
+    """Per-thread stall attribution + channel/ring queue statistics.
+
+    Attach with :meth:`attach`; read back with :meth:`snapshot` (a
+    deterministic plain dict) after the run.  ``sample_cycles`` enables
+    the optional time series (``samples``) for Perfetto counter tracks;
+    without it the run-loop poll is a single comparison against +inf.
+    """
+
+    def __init__(self, sample_cycles: Optional[float] = None):
+        self.chip = None
+        self.threads: Dict[Tuple[int, int], _ThreadAttribution] = {}
+        # channel name -> [requests, queue_wait_total, queue_wait_max]
+        self.channel_stats: Dict[str, List[float]] = {}
+        # ring name -> [ops, depth_total, depth_max]
+        self.ring_stats: Dict[str, List[float]] = {}
+        self.sample_cycles = sample_cycles
+        self.samples: List[dict] = []
+        self.next_t = float(sample_cycles) if sample_cycles else math.inf
+
+    # -- attachment --------------------------------------------------------------
+
+    def attach(self, chip) -> "StallProfiler":
+        """Install the profiler on ``chip``: the MEs reach it through
+        ``chip.profiler``, the memory system and every existing ring get
+        a direct reference (rings created later simply go unsampled)."""
+        self.chip = chip
+        chip.profiler = self
+        chip.memory.profiler = self
+        for ring in chip.rings.rings.values():
+            ring.profiler = self
+        return self
+
+    # -- hot-path hooks (called only when attached) -------------------------------
+
+    def note_burst(self, me_index: int, t_index: int,
+                   t0: float, t1: float) -> None:
+        """A thread ran from ``t0`` to ``t1`` on the ME clock."""
+        if t1 <= t0:
+            return
+        key = (me_index, t_index)
+        ta = self.threads.get(key)
+        if ta is None:
+            ta = self.threads[key] = _ThreadAttribution()
+        ta.exec_cycles += t1 - t0
+
+    def note_block(self, me_index: int, t_index: int, cat: str,
+                   t0: float, wake: float) -> None:
+        """A thread blocked at ``t0`` until ``wake`` under ``cat``."""
+        key = (me_index, t_index)
+        ta = self.threads.get(key)
+        if ta is None:
+            ta = self.threads[key] = _ThreadAttribution()
+        wait = ta.wait
+        wait[cat] = wait.get(cat, 0.0) + (wake - t0)
+        blocks = ta.blocks
+        blocks[cat] = blocks.get(cat, 0) + 1
+        ta.last_cat = cat
+        ta.last_wake = wake
+
+    def note_mem(self, channel: str, queued: float) -> None:
+        """A memory request on physical ``channel`` waited ``queued``
+        cycles behind earlier requests before the channel took it."""
+        st = self.channel_stats.get(channel)
+        if st is None:
+            st = self.channel_stats[channel] = [0, 0.0, 0.0]
+        st[0] += 1
+        st[1] += queued
+        if queued > st[2]:
+            st[2] = queued
+
+    def note_ring(self, name: str, depth: int) -> None:
+        """Ring occupancy observed right after a put/get."""
+        st = self.ring_stats.get(name)
+        if st is None:
+            st = self.ring_stats[name] = [0, 0.0, 0.0]
+        st[0] += 1
+        st[1] += depth
+        if depth > st[2]:
+            st[2] = depth
+
+    # -- optional time sampling (pulled by chip.run) ------------------------------
+
+    def tick(self, mark: float) -> None:
+        """Record one occupancy/queue sample at ``mark`` and re-arm."""
+        self.next_t = mark + float(self.sample_cycles)
+        chip = self.chip
+        if chip is None:
+            return
+        queue = {}
+        for ch in chip.memory.channels.values():
+            backlog = ch.next_free - mark
+            queue[ch.name] = round(backlog, 3) if backlog > 0.0 else 0.0
+        self.samples.append({
+            "t": mark,
+            "me_busy": [round(me.time - me.idle_time, 3)
+                        for me in chip.mes],
+            "queue": queue,
+        })
+
+    # -- timeseries integration ---------------------------------------------------
+
+    def window_source(self):
+        """A :meth:`TimeseriesCollector.add_source` callback emitting
+        per-window occupancy deltas: ``occ.exec{me=i}``,
+        ``occ.idle{me=i}``, ``occ.wait{cat=...,me=i}`` (cycles summed
+        over the ME's threads; waits attributed to the window the block
+        was *issued* in) and ``occ.mem_busy{channel=...}``."""
+        prev: Dict[tuple, float] = {}
+
+        def source(reg) -> None:
+            chip = self.chip
+            if chip is None:
+                return
+            for me in chip.mes:
+                i = me.index
+                exec_c = 0.0
+                waits: Dict[str, float] = {}
+                for th in me.threads:
+                    ta = self.threads.get((i, th.index))
+                    if ta is None:
+                        continue
+                    exec_c += ta.exec_cycles
+                    for cat, v in ta.wait.items():
+                        waits[cat] = waits.get(cat, 0.0) + v
+                for name, cur in (("exec", exec_c), ("idle", me.idle_time)):
+                    key = (name, i)
+                    d = cur - prev.get(key, 0.0)
+                    if d:
+                        reg.counter("occ." + name, me=i).inc(round(d, 3))
+                        prev[key] = cur
+                for cat in sorted(waits):
+                    key = (cat, i)
+                    d = waits[cat] - prev.get(key, 0.0)
+                    if d:
+                        reg.counter("occ.wait", cat=cat, me=i).inc(
+                            round(d, 3))
+                        prev[key] = waits[cat]
+            for ch in chip.memory.channels.values():
+                key = ("busy", ch.name)
+                d = ch.busy_time - prev.get(key, 0.0)
+                if d:
+                    reg.counter("occ.mem_busy", channel=ch.name).inc(
+                        round(d, 3))
+                    prev[key] = ch.busy_time
+        return source
+
+    # -- snapshot ----------------------------------------------------------------
+
+    def thread_attribution(self, me) -> List[dict]:
+        """Per-thread attribution records for one ME, rounded to 3
+        decimals with ``idle`` as the compensating residual, so
+        ``exec + waits + idle`` recovers ``total`` exactly after a
+        3-decimal round (the sums-to-total invariant)."""
+        horizon = me.time
+        out = []
+        for th in me.threads:
+            ta = self.threads.get((me.index, th.index))
+            rec = {"me": me.index, "thread": th.index,
+                   "total": round(horizon, 3)}
+            waits = dict(ta.wait) if ta is not None else {}
+            if (ta is not None and ta.last_cat is not None
+                    and ta.last_wake > horizon):
+                # Only the final block can extend past the end of the
+                # run; clamp the overshoot off its category.
+                waits[ta.last_cat] -= ta.last_wake - horizon
+            rec["exec"] = round(ta.exec_cycles if ta is not None else 0.0, 3)
+            spent = rec["exec"]
+            for cat in WAIT_CATEGORIES:
+                v = round(waits.get(cat, 0.0), 3)
+                rec[cat] = v
+                spent += v
+            rec["idle"] = round(rec["total"] - spent, 3)
+            rec["blocks"] = dict(sorted(ta.blocks.items())) if ta else {}
+            out.append(rec)
+        return out
+
+    def snapshot(self, chip=None) -> dict:
+        """Deterministic plain-dict summary of the whole run: per-ME /
+        per-thread attribution, per-channel queueing + utilization,
+        per-ring occupancy, plus any time samples."""
+        chip = chip if chip is not None else self.chip
+        total_cycles = chip.now
+        mes = []
+        for me in chip.mes:
+            mes.append({
+                "me": me.index,
+                "time": round(me.time, 3),
+                "idle_time": round(me.idle_time, 3),
+                "threads": self.thread_attribution(me),
+            })
+        channels = {}
+        for key in sorted(chip.memory.channels):
+            ch = chip.memory.channels[key]
+            st = self.channel_stats.get(ch.name) or [0, 0.0, 0.0]
+            requests = int(st[0])
+            channels[ch.name] = {
+                "requests": requests,
+                "busy_cycles": round(ch.busy_time, 3),
+                "utilization": round(ch.busy_time / total_cycles, 6)
+                if total_cycles else 0.0,
+                "queue_wait_cycles": round(st[1], 3),
+                "mean_queue_wait": round(st[1] / requests, 3)
+                if requests else 0.0,
+                "max_queue_wait": round(st[2], 3),
+            }
+        rings = {}
+        for name in sorted(chip.rings.rings):
+            ring = chip.rings.rings[name]
+            st = self.ring_stats.get(name) or [0, 0.0, 0.0]
+            ops = int(st[0])
+            rings[name] = {
+                "puts": ring.puts,
+                "gets": ring.gets,
+                "drops": ring.drops,
+                "empty_gets": ring.empty_gets,
+                "max_depth": ring.max_depth,
+                "mean_depth": round(st[1] / ops, 3) if ops else 0.0,
+            }
+        snap = {
+            "total_cycles": round(total_cycles, 3),
+            "mes": mes,
+            "channels": channels,
+            "rings": rings,
+        }
+        if self.samples:
+            snap["samples"] = list(self.samples)
+        return snap
+
+
+# -- aggregation & verdicts ----------------------------------------------------
+
+
+def aggregate_attribution(snapshot: dict) -> dict:
+    """Sum the per-thread attribution over every thread of every ME.
+    ``total`` is the matching sum of per-thread totals (thread-cycles,
+    i.e. n_threads x ME cycles -- the denominator for shares)."""
+    agg = {cat: 0.0 for cat in CATEGORIES}
+    total = 0.0
+    for me in snapshot["mes"]:
+        for rec in me["threads"]:
+            total += rec["total"]
+            for cat in CATEGORIES:
+                agg[cat] += rec[cat]
+    out = {cat: round(agg[cat], 3) for cat in CATEGORIES}
+    out["total"] = round(total, 3)
+    return out
+
+
+def attribution_shares(agg: dict) -> dict:
+    """Fractions of total thread-cycles per category (0 when idle)."""
+    total = agg.get("total") or 0.0
+    if not total:
+        return {cat: 0.0 for cat in CATEGORIES}
+    return {cat: round(agg[cat] / total, 6) for cat in CATEGORIES}
+
+
+def channel_utilization(snapshot: dict) -> dict:
+    """Busy fraction per *logical* channel: scratch, sram (the busier of
+    the two physical QDR channels -- one saturated channel is the
+    bound), dram."""
+    chans = snapshot.get("channels") or {}
+
+    def util(name: str) -> float:
+        return (chans.get(name) or {}).get("utilization", 0.0)
+
+    return {
+        "scratch": util("scratch"),
+        "sram": round(max(util("sram0"), util("sram1")), 6),
+        "dram": util("dram"),
+    }
+
+
+def bottleneck_verdict(snapshot: dict) -> dict:
+    """One structured verdict for a run: what bounds this configuration.
+
+    Decision order: a saturated memory channel wins (threads are
+    plentiful, the channel is the serializing resource -- more MEs only
+    deepen its queue); otherwise heavy empty-ring polling means the
+    stage is starved of input; otherwise a mostly-executing engine is
+    compute-bound; otherwise the engine is waiting on unsaturated
+    memory latency, which more threads/MEs can hide."""
+    agg = aggregate_attribution(snapshot)
+    shares = attribution_shares(agg)
+    util = channel_utilization(snapshot)
+    binding = max(("scratch", "sram", "dram"), key=lambda c: util[c])
+    dominant = max(WAIT_CATEGORIES, key=lambda c: shares[c])
+    verdict = {
+        "dominant_wait": dominant,
+        "wait_share": shares[dominant],
+        "channel": None,
+        "channel_utilization": util[binding],
+    }
+    if util[binding] >= SATURATION_UTILIZATION:
+        label = _CHANNEL_LABEL[binding]
+        wait_share = shares[_CHANNEL_WAIT[binding]]
+        verdict["kind"] = "memory-bound"
+        verdict["channel"] = binding
+        verdict["text"] = (
+            "%d%% %s-wait — memory-bound on %s (%d%% channel occupancy); "
+            "adding MEs won't help"
+            % (round(wait_share * 100), label, label,
+               round(util[binding] * 100)))
+    elif shares["ring_empty"] >= STARVED_SHARE:
+        verdict["kind"] = "input-starved"
+        verdict["text"] = (
+            "%d%% empty-ring polling — input-starved; offered load or the "
+            "upstream stage is the limit"
+            % round(shares["ring_empty"] * 100))
+    elif shares["exec"] >= 0.5:
+        verdict["kind"] = "compute-bound"
+        verdict["text"] = (
+            "%d%% executing — compute-bound; adding MEs should help"
+            % round(shares["exec"] * 100))
+    else:
+        verdict["kind"] = "latency-bound"
+        verdict["text"] = (
+            "%d%% %s-wait with no saturated channel — latency-bound; "
+            "more threads/MEs can hide it"
+            % (round(shares[dominant] * 100), dominant))
+    return verdict
+
+
+def occupancy_cell(app: str, level: str, n_mes: int, rate_gbps: float,
+                   snapshot: dict) -> dict:
+    """One BENCH_occupancy.json cell: attribution + channels + verdict
+    for a single (app, level, MEs) run. Deterministic and JSON-plain."""
+    verdict = bottleneck_verdict(snapshot)
+    agg = aggregate_attribution(snapshot)
+    cell = {
+        "app": app,
+        "level": level,
+        "n_mes": n_mes,
+        "rate_gbps": round(rate_gbps, 3),
+        "total_cycles": snapshot["total_cycles"],
+        "attribution": agg,
+        "shares": attribution_shares(agg),
+        "channels": snapshot["channels"],
+        "rings": snapshot["rings"],
+        "threads": [rec for me in snapshot["mes"] for rec in me["threads"]],
+        "verdict": verdict,
+    }
+    cell["verdict"]["text"] = "%s @%dME: %s" % (app, n_mes, verdict["text"])
+    return cell

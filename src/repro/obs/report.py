@@ -24,6 +24,13 @@ The ``timeline`` subcommand renders a timeseries JSONL dump written by
 ``python -m repro.serve --timeline``): one row per window
 (rate/p50/p95/p99/drops) with update markers, then the update-impact
 table around each control-plane event.
+
+The ``bottleneck`` subcommand renders a ``BENCH_occupancy.json``
+written by ``python -m repro.sweep --profile`` (see
+:mod:`repro.obs.profile`): per-(app, level) stall-cycle attribution
+tables, one row per ME count, with each run's one-line bottleneck
+verdict underneath -- the "why did the curve plateau?" view of the
+Figure 13-15 rate data.
 """
 
 from __future__ import annotations
@@ -690,6 +697,99 @@ def timeline_main(argv) -> int:
     return 0
 
 
+# -- bottleneck: render a BENCH_occupancy.json ---------------------------------------
+
+
+def render_bottleneck(bench: dict, app: Optional[str] = None,
+                      level: Optional[str] = None,
+                      mes: Optional[int] = None) -> str:
+    """Attribution tables + verdicts from a BENCH_occupancy.json dict.
+    Deterministic: a pure function of the file and the filters."""
+    from repro.obs.profile import CATEGORIES
+    from repro.options import LEVEL_ORDER
+
+    cells = [c for c in (bench.get("cells") or {}).values()
+             if (app is None or c.get("app") == app)
+             and (level is None or c.get("level") == level)
+             and (mes is None or c.get("n_mes") == mes)]
+    if not cells:
+        return "(no matching occupancy cells)"
+
+    def level_rank(lv: str) -> Tuple[int, str]:
+        try:
+            return (LEVEL_ORDER.index(lv), lv)
+        except ValueError:
+            return (len(LEVEL_ORDER), lv)
+
+    groups: "OrderedDict[Tuple, List[dict]]" = OrderedDict()
+    for c in sorted(cells, key=lambda c: (c.get("app", ""),
+                                          level_rank(c.get("level", "")),
+                                          c.get("n_mes", 0))):
+        groups.setdefault((c.get("app", "?"), c.get("level", "?")),
+                          []).append(c)
+
+    lines: List[str] = []
+    for (capp, clevel), group in groups.items():
+        lines.append("%s / %s -- stall-cycle attribution (%% of thread "
+                     "cycles):" % (capp, clevel))
+        rows = []
+        for c in group:
+            shares = c.get("shares") or {}
+            rows.append(["%d" % c.get("n_mes", 0),
+                         "%.2f" % c.get("rate_gbps", 0.0)]
+                        + ["%.1f" % (100 * shares.get(cat, 0.0))
+                           for cat in CATEGORIES]
+                        + [str((c.get("verdict") or {}).get("kind", "?"))])
+        _table(lines, ["MEs", "gbps"] + list(CATEGORIES) + ["verdict"],
+               rows)
+        for c in group:
+            text = (c.get("verdict") or {}).get("text")
+            if text:
+                lines.append("  " + text)
+        lines.append("")
+    return "\n".join(lines).rstrip("\n")
+
+
+def bottleneck_main(argv) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.obs.report bottleneck",
+        description="Render a BENCH_occupancy.json (written by "
+                    "python -m repro.sweep --profile) as per-(app, "
+                    "level) attribution tables with bottleneck "
+                    "verdicts.")
+    ap.add_argument("path", nargs="?", default="BENCH_occupancy.json",
+                    help="occupancy bench file (default: %(default)s)")
+    ap.add_argument("--app", default=None,
+                    help="restrict to one app (e.g. mpls)")
+    ap.add_argument("--level", default=None,
+                    help="restrict to one optimization level (e.g. SWC)")
+    ap.add_argument("--mes", type=int, default=None,
+                    help="restrict to one ME count")
+    args = ap.parse_args(argv)
+    if not os.path.exists(args.path):
+        print("error: no occupancy file at %s (write one with "
+              "python -m repro.sweep --profile)" % args.path,
+              file=sys.stderr)
+        return 1
+    try:
+        with open(args.path) as fh:
+            bench = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print("error: cannot read occupancy bench from %s: %s"
+              % (args.path, exc), file=sys.stderr)
+        return 1
+    if not isinstance(bench, dict) or bench.get("kind") != "bench_occupancy":
+        print("error: %s is not an occupancy bench (kind=%r, expected "
+              "bench_occupancy)"
+              % (args.path, bench.get("kind")
+                 if isinstance(bench, dict) else type(bench).__name__),
+              file=sys.stderr)
+        return 1
+    print(render_bottleneck(bench, app=args.app, level=args.level,
+                            mes=args.mes))
+    return 0
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -697,6 +797,8 @@ def main(argv=None) -> int:
         return explain_main(argv[1:])
     if argv and argv[0] == "timeline":
         return timeline_main(argv[1:])
+    if argv and argv[0] == "bottleneck":
+        return bottleneck_main(argv[1:])
     ap = argparse.ArgumentParser(
         prog="python -m repro.obs.report",
         description="Render a metrics JSONL dump as text.")

@@ -44,6 +44,10 @@ class RunResult:
     # suite asserts these match between dispatch cores bit for bit).
     me_executed_instrs: List[int] = field(default_factory=list)
     me_times: List[float] = field(default_factory=list)
+    me_idle_times: List[float] = field(default_factory=list)
+    # Stall-attribution snapshot (repro.obs.profile), present only when
+    # a profiler was passed to run_on_simulator.
+    occupancy: Optional[dict] = None
 
     def tx_signature(self) -> List[bytes]:
         return sorted(self.tx_payloads)
@@ -64,6 +68,7 @@ def run_on_simulator(
     dispatch: Optional[str] = None,
     registry: Optional[obs_metrics.MetricsRegistry] = None,
     timeseries=None,
+    profiler=None,
 ) -> RunResult:
     """Load and run a compiled program; measure steady-state behavior.
 
@@ -102,6 +107,12 @@ def run_on_simulator(
     time, closed by the run loop's boundary pull and finalized at the
     end of the run. Pure observation -- runs with and without a
     collector are bit-identical (tests/test_obs.py).
+
+    ``profiler`` attaches a :class:`repro.obs.profile.StallProfiler`
+    to the chip: per-thread stall-cycle attribution and channel/ring
+    queue statistics, snapshotted into ``RunResult.occupancy``. Pure
+    observation -- profiled runs are bit-identical to unprofiled ones
+    (tests/test_profile.py).
     """
     if registry is not None:
         with obs_metrics.scoped_registry(registry):
@@ -111,7 +122,7 @@ def run_on_simulator(
                 max_cycles=max_cycles, metrics_jsonl=metrics_jsonl,
                 tracer=tracer, trace_json=trace_json,
                 trace_events_jsonl=trace_events_jsonl, dispatch=dispatch,
-                timeseries=timeseries)
+                timeseries=timeseries, profiler=profiler)
     reg = obs_metrics.get_registry()
     trace_json = trace_json or os.environ.get("REPRO_TRACE_JSON")
     if tracer is None and (trace_json or trace_events_jsonl):
@@ -132,6 +143,10 @@ def run_on_simulator(
         # pulled by the run loop like the sampler, pure observation.
         timeseries.attach(rx=rx, tx=tx, tracer=tracer)
         chip.window = timeseries
+    if profiler is not None:
+        profiler.attach(chip)
+        if timeseries is not None:
+            timeseries.add_source(profiler.window_source())
 
     target = warmup_packets + measure_packets
     with reg.timer("sim.wall").time():
@@ -185,6 +200,8 @@ def run_on_simulator(
         rx_dropped_ring_full=rx.dropped_ring_full,
         me_executed_instrs=[me.executed_instrs for me in chip.mes],
         me_times=[me.time for me in chip.mes],
+        me_idle_times=[me.idle_time for me in chip.mes],
+        occupancy=profiler.snapshot(chip) if profiler is not None else None,
     )
 
     if tracer is not None:
@@ -210,7 +227,9 @@ def run_on_simulator(
             from repro.obs.export import write_chrome_trace
 
             write_chrome_trace(trace_json, tracer.event_dicts(),
-                               compile_spans=obs_trace.drain_compile_spans())
+                               compile_spans=obs_trace.drain_compile_spans(),
+                               profile=(profiler.samples
+                                        if profiler is not None else None))
     return run
 
 

@@ -59,6 +59,11 @@ def main(argv=None) -> int:
                     help="dump the per-window timeline JSONL here")
     ap.add_argument("--report", action="store_true",
                     help="print the timeline report after the run")
+    ap.add_argument("--profile", action="store_true",
+                    help="attach the stall-cycle attribution profiler: "
+                         "timeline windows carry occ.* counter deltas "
+                         "and a bottleneck verdict is printed; the "
+                         "bench JSON is byte-identical either way")
     args = ap.parse_args(argv)
 
     try:
@@ -71,7 +76,7 @@ def main(argv=None) -> int:
         windows=args.windows, window_cycles=args.window_cycles,
         offered_gbps=args.gbps, churn=churn, traffic_seed=args.seed,
         table_seed=args.table_seed, churn_seed=args.churn_seed,
-        impact_k=args.impact_k)
+        impact_k=args.impact_k, profile=args.profile)
     try:
         res = run_service(cfg, timeline_path=args.timeline,
                           bench_path=args.out)
@@ -88,6 +93,8 @@ def main(argv=None) -> int:
              s["latency"]["p50"], s["latency"]["p99"]))
     print("  updates applied=%d  stale tx after update=%d"
           % (s["updates_applied"], s["stale_tx_total"]))
+    if res.occupancy is not None:
+        print("  bottleneck: %s" % res.occupancy["verdict"]["text"])
     if args.out:
         print("  bench -> %s" % args.out)
     if args.timeline:

@@ -61,6 +61,12 @@ class ServeConfig:
     impact_k: int = 2
     exact_limit: int = 256
     profile_packets: int = 200  # compile-time profiling trace length
+    # Attach a stall-cycle attribution profiler (repro.obs.profile):
+    # windows gain occ.* counter deltas (visible in the timeline dump)
+    # and ServeResult.occupancy is filled. Pure observation -- the
+    # simulation and the churn bench payload are bit-identical either
+    # way (tests/test_profile.py).
+    profile: bool = False
 
 
 @dataclass
@@ -71,6 +77,8 @@ class ServeResult:
     applied: List[object]       # (time, TableMutation) pairs, time order
     stale_tx: List[int]         # per applied update
     tracer: PacketTracer
+    # occupancy_cell dict when cfg.profile was set, else None.
+    occupancy: Optional[Dict[str, object]] = None
 
 
 def build_app(name: str, table_seed: Optional[int] = None):
@@ -114,6 +122,13 @@ def run_service(cfg: ServeConfig,
     collector.attach(rx=rx, tx=tx, tracer=tracer)
     chip.window = collector
 
+    profiler = None
+    if cfg.profile:
+        from repro.obs.profile import StallProfiler
+
+        profiler = StallProfiler().attach(chip)
+        collector.add_source(profiler.window_source())
+
     control = ControlPlane(chip, layout, collector)
     horizon = cfg.windows * cfg.window_cycles
     for spec in cfg.churn:
@@ -145,9 +160,17 @@ def run_service(cfg: ServeConfig,
     if bench_path:
         merge_bench_json(bench_path, "churn", bench, kind="bench_churn")
 
+    occupancy = None
+    if profiler is not None:
+        from repro.obs.profile import occupancy_cell
+
+        mean_rate = bench["summary"]["mean_rate_gbps"]
+        occupancy = occupancy_cell(cfg.app, cfg.level, cfg.n_mes,
+                                   mean_rate, profiler.snapshot(chip))
+
     return ServeResult(config=cfg, collector=collector, bench=bench,
                        applied=list(control.applied), stale_tx=stale,
-                       tracer=tracer)
+                       tracer=tracer, occupancy=occupancy)
 
 
 def _seeds(cfg: ServeConfig) -> Dict[str, object]:

@@ -95,6 +95,11 @@ def main(argv=None) -> int:
                     metavar="N",
                     help="trace roots replayed per image during "
                          "--analyze validation (default: %(default)s)")
+    ap.add_argument("--profile", action="store_true",
+                    help="attach the stall-cycle attribution profiler "
+                         "(repro.obs.profile) to every rate run and "
+                         "write BENCH_occupancy.json; measured rates "
+                         "are bit-identical either way")
     args = ap.parse_args(argv)
 
     apps = _csv(args.apps)
@@ -128,7 +133,8 @@ def main(argv=None) -> int:
                        trace_packets=args.trace_packets,
                        trace_seed=args.trace_seed, obs=True,
                        ledger=args.ledger, analyze=args.analyze,
-                       analyze_packets=args.analyze_packets)
+                       analyze_packets=args.analyze_packets,
+                       profile=args.profile)
     sweep = run_sweep(jobs, n_procs=args.jobs, cache=cache, cfg=cfg,
                       merge_into=reg)
 
@@ -146,6 +152,15 @@ def main(argv=None) -> int:
             print("  %-5s %s" % (level,
                                  "  ".join("%6.2f" % r
                                            for r in series[level])))
+
+    if args.profile:
+        verdicts = [jr.occupancy["verdict"]["text"] for jr in sweep.jobs
+                    if jr.occupancy is not None]
+        if verdicts:
+            print("\nbottleneck verdicts (full table: "
+                  "python -m repro.obs.report bottleneck)")
+            for text in verdicts:
+                print("  %s" % text)
 
     metrics_path = args.metrics_jsonl or os.path.join(
         repo_root(), "benchmarks", "results", "metrics.jsonl")

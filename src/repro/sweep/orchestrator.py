@@ -97,6 +97,9 @@ class JobResult:
     #: ``repro.analyze`` report for this job's (app, level) compile, when
     #: the sweep runs with ``analyze=True`` (None otherwise).
     analysis: Optional[dict] = None
+    #: Stall-cycle attribution cell (repro.obs.profile) for rate jobs
+    #: run with ``profile=True`` (None otherwise).
+    occupancy: Optional[dict] = None
 
 
 @dataclass(frozen=True)
@@ -116,6 +119,10 @@ class WorkerConfig:
     analyze: bool = False
     #: Trace roots replayed per image by the validation pass.
     analyze_packets: int = 24
+    #: Attach a stall-cycle attribution profiler to every rate job and
+    #: emit BENCH_occupancy.json (pure observation; measured rates are
+    #: bit-identical either way).
+    profile: bool = False
 
 
 def build_jobs(apps: Sequence[str],
@@ -183,12 +190,24 @@ def execute_job(job: SweepJob, cfg: WorkerConfig,
                         n_mes=job.n_mes):
             result, trace, hit = cache.get_or_compile(
                 job.app, job.level, cfg.trace_packets, cfg.trace_seed)
+            profiler = None
+            if cfg.profile and job.kind == "rate":
+                from repro.obs.profile import StallProfiler
+
+                profiler = StallProfiler()
             run = run_on_simulator(result, trace, n_mes=job.n_mes,
                                    warmup_packets=job.warmup_packets,
                                    measure_packets=job.measure_packets,
-                                   trace_json=job.trace_json)
+                                   trace_json=job.trace_json,
+                                   profiler=profiler)
     analysis = (_analyze_compile(job, cfg, result, trace)
                 if cfg.analyze else None)
+    occupancy = None
+    if profiler is not None:
+        from repro.obs.profile import occupancy_cell
+
+        occupancy = occupancy_cell(job.app, job.level, job.n_mes,
+                                   run.forwarding_gbps, run.occupancy)
     profile = {f: getattr(run.access_profile, f) for f in _PROFILE_FIELDS}
     spans = obs_trace.drain_compile_spans() if detached else []
     decisions = ([d.to_record() for d in led.since(led_mark)]
@@ -201,7 +220,8 @@ def execute_job(job: SweepJob, cfg: WorkerConfig,
                      metrics=reg.records() if cfg.obs else [],
                      compile_spans=spans,
                      decisions=decisions,
-                     analysis=analysis)
+                     analysis=analysis,
+                     occupancy=occupancy)
 
 
 #: Per-process memo: the analysis of one (app, level) compile does not
@@ -343,6 +363,17 @@ class SweepResult:
             payloads[figure] = payload
         return payloads
 
+    def occupancy_payload(self) -> Optional[Dict]:
+        """BENCH_occupancy.json payload: one stall-attribution cell per
+        profiled rate job, keyed ``app/LEVEL@n_mes`` so repeated sweeps
+        merge instead of clobbering. None when no job was profiled."""
+        cells = {"%s/%s@%d" % (jr.job.app, jr.job.level, jr.job.n_mes):
+                 jr.occupancy
+                 for jr in self.jobs if jr.occupancy is not None}
+        if not cells:
+            return None
+        return {"cells": cells}
+
     def write_bench_files(self, out_dir: Optional[str] = None) -> List[str]:
         """Single-writer merge of every payload into
         ``<out_dir>/BENCH_<figure>.json`` (default: the repo root)."""
@@ -351,6 +382,11 @@ class SweepResult:
         for figure, payload in sorted(self.bench_payloads().items()):
             path = os.path.join(out_dir, "BENCH_%s.json" % figure)
             paths.append(merge_bench_json(path, figure, payload))
+        occupancy = self.occupancy_payload()
+        if occupancy is not None:
+            path = os.path.join(out_dir, "BENCH_occupancy.json")
+            paths.append(merge_bench_json(path, "occupancy", occupancy,
+                                          kind="bench_occupancy"))
         return paths
 
 

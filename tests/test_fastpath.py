@@ -63,6 +63,7 @@ def _compile(app_name):
 def _signature(run):
     return (run.tx_signature(), run.sim_cycles,
             tuple(run.me_executed_instrs), tuple(run.me_times),
+            tuple(run.me_idle_times),
             run.forwarding_gbps, run.me_utilization,
             run.rx_dropped_freelist, run.rx_dropped_ring_full,
             run.access_profile.row())
@@ -77,6 +78,9 @@ def test_fast_dispatch_bit_identical(app_name):
         for mode in MODES
     }
     assert runs["fast"].tx_signature(), "run forwarded no packets"
+    # idle_time feeds the stall profiler's exact idle residual, so the
+    # two cores must agree on it to the bit, not just on busy time.
+    assert runs["legacy"].me_idle_times == runs["fast"].me_idle_times
     assert _signature(runs["legacy"]) == _signature(runs["fast"])
 
 

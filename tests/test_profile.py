@@ -1,0 +1,342 @@
+"""Stall-cycle attribution profiler (repro.obs.profile).
+
+The two load-bearing guarantees:
+
+* **zero impact** -- a profiled run is bit-identical to an unprofiled
+  one (Tx bytes, rates, cycle counts, per-ME accounting), in both
+  dispatch cores;
+* **sums to total** -- every thread's attribution (exec + waits + idle)
+  recovers that ME's total simulated cycles exactly under the payload's
+  3-decimal rounding.
+
+Plus: legacy and fast dispatch produce *identical* profiler snapshots,
+the sweep's BENCH_occupancy.json is byte-reproducible and diffable, the
+obs.diff unknown-kind / occupancy gates fire, the bottleneck report
+renders, timeline windows carry occ.* deltas, and the Perfetto export
+grows profile counter tracks.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.compiler import compile_baker
+from repro.obs import diff as obs_diff
+from repro.obs.profile import (
+    CATEGORIES,
+    WAIT_CATEGORIES,
+    StallProfiler,
+    aggregate_attribution,
+    attribution_shares,
+    bottleneck_verdict,
+    channel_utilization,
+    occupancy_cell,
+)
+from repro.options import options_for
+from repro.profiler.trace import ipv4_trace
+from repro.rts.system import run_on_simulator
+
+MACS = [0x0A0000000001, 0x0A0000000002, 0x0A0000000003]
+MODES = ("legacy", "fast")
+
+
+def _mini_result():
+    from tests.samples import MINI_FORWARDER
+
+    trace = ipv4_trace(60, [0xC0A80101], MACS, seed=3)
+    result = compile_baker(MINI_FORWARDER, options_for("O1"), trace)
+    return result, trace
+
+
+_RUN = dict(n_mes=2, warmup_packets=30, measure_packets=90)
+
+
+def _run_signature(run):
+    return (run.tx_signature(), run.sim_cycles, run.forwarding_gbps,
+            run.packets_measured, run.rx_offered, run.rx_dropped,
+            run.me_utilization, tuple(run.me_executed_instrs),
+            tuple(run.me_times), tuple(run.me_idle_times),
+            run.access_profile.row())
+
+
+# -- zero impact ----------------------------------------------------------------
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_profiled_run_is_bit_identical(mode):
+    result, trace = _mini_result()
+    off = run_on_simulator(result, trace, dispatch=mode, **_RUN)
+    on = run_on_simulator(result, trace, dispatch=mode,
+                          profiler=StallProfiler(), **_RUN)
+    assert on.occupancy is not None and off.occupancy is None
+    assert _run_signature(on) == _run_signature(off)
+
+
+def test_profiler_snapshot_identical_across_dispatch_modes():
+    """Both dispatch cores drive the same hooks at the same simulated
+    times: the whole snapshot (attribution, channel queueing, ring
+    stats) must match to the bit, not just the measured run."""
+    result, trace = _mini_result()
+    snaps = {}
+    for mode in MODES:
+        run = run_on_simulator(result, trace, dispatch=mode,
+                               profiler=StallProfiler(), **_RUN)
+        snaps[mode] = run.occupancy
+    assert snaps["legacy"] == snaps["fast"]
+
+
+# -- the sums-to-total invariant ------------------------------------------------
+
+
+def _profiled_run():
+    result, trace = _mini_result()
+    return run_on_simulator(result, trace, profiler=StallProfiler(), **_RUN)
+
+
+def test_attribution_sums_to_total_cycles():
+    snap = _profiled_run().occupancy
+    assert snap["mes"], "no MEs profiled"
+    for me in snap["mes"]:
+        assert me["threads"], "ME %d has no thread records" % me["me"]
+        for rec in me["threads"]:
+            spent = rec["exec"] + sum(rec[c] for c in WAIT_CATEGORIES)
+            assert round(spent + rec["idle"], 3) == rec["total"], rec
+            # idle is a residual but must never mask over-attribution.
+            assert rec["idle"] >= -0.001, rec
+            assert rec["total"] == me["time"]
+    agg = aggregate_attribution(snap)
+    assert agg["total"] == round(
+        sum(r["total"] for me in snap["mes"] for r in me["threads"]), 3)
+    assert round(sum(agg[c] for c in CATEGORIES), 2) == round(
+        agg["total"], 2)
+    shares = attribution_shares(agg)
+    assert round(sum(shares.values()), 3) == pytest.approx(1.0, abs=0.002)
+
+
+def test_snapshot_channels_and_rings_populated():
+    snap = _profiled_run().occupancy
+    assert set(snap["channels"]) == {"scratch", "sram0", "sram1", "dram"}
+    total_requests = sum(ch["requests"] for ch in snap["channels"].values())
+    assert total_requests > 0
+    for ch in snap["channels"].values():
+        assert ch["queue_wait_cycles"] >= 0.0
+        assert ch["max_queue_wait"] >= ch["mean_queue_wait"] >= 0.0
+    assert any(r["gets"] > 0 for r in snap["rings"].values())
+    util = channel_utilization(snap)
+    assert set(util) == {"scratch", "sram", "dram"}
+    assert all(u >= 0.0 for u in util.values())
+
+
+def test_verdict_and_cell_shape():
+    run = _profiled_run()
+    snap = run.occupancy
+    verdict = bottleneck_verdict(snap)
+    assert verdict["kind"] in ("memory-bound", "input-starved",
+                               "compute-bound", "latency-bound")
+    assert verdict["dominant_wait"] in WAIT_CATEGORIES
+    assert verdict["text"]
+    cell = occupancy_cell("mini", "O1", 2, run.forwarding_gbps, snap)
+    assert cell["verdict"]["text"].startswith("mini @2ME: ")
+    assert set(cell["shares"]) == set(CATEGORIES)
+    assert len(cell["threads"]) == sum(len(m["threads"])
+                                       for m in snap["mes"])
+    # JSON round-trips losslessly (the BENCH payload contract).
+    assert json.loads(json.dumps(cell)) == cell
+
+
+# -- optional time sampling -----------------------------------------------------
+
+
+def test_time_samples_on_grid_and_zero_impact():
+    result, trace = _mini_result()
+    off = run_on_simulator(result, trace, **_RUN)
+    prof = StallProfiler(sample_cycles=5_000.0)
+    on = run_on_simulator(result, trace, profiler=prof, **_RUN)
+    assert _run_signature(on) == _run_signature(off)
+    assert prof.samples, "no time samples recorded"
+    marks = [s["t"] for s in prof.samples]
+    assert marks == [5_000.0 * (i + 1) for i in range(len(marks))]
+    assert on.occupancy["samples"] == prof.samples
+    for s in prof.samples:
+        assert len(s["me_busy"]) == _RUN["n_mes"]
+        assert set(s["queue"]) == {"scratch", "sram0", "sram1", "dram"}
+
+
+def test_export_profile_counter_tracks():
+    from repro.obs.export import PROFILE_PID, chrome_trace_from_events
+
+    result, trace = _mini_result()
+    prof = StallProfiler(sample_cycles=5_000.0)
+    run_on_simulator(result, trace, profiler=prof, **_RUN)
+    doc = chrome_trace_from_events([], profile=prof.samples)
+    counters = [e for e in doc["traceEvents"]
+                if e.get("ph") == "C" and e["pid"] == PROFILE_PID]
+    names = {e["name"] for e in counters}
+    assert names == {"me_occupancy", "mem_queue_backlog"}
+    occ = [e for e in counters if e["name"] == "me_occupancy"]
+    assert occ and all(set(e["args"]) == {"me0", "me1"} for e in occ)
+    # Busy fractions over an interval are physical: within [0, 1].
+    for e in occ:
+        for v in e["args"].values():
+            assert -1e-9 <= v <= 1.0 + 1e-9
+
+
+# -- timeseries integration -----------------------------------------------------
+
+
+def test_timeline_windows_carry_occupancy_deltas():
+    from repro.obs.timeseries import TimeseriesCollector
+
+    result, trace = _mini_result()
+    off = run_on_simulator(result, trace,
+                           timeseries=TimeseriesCollector(5_000.0), **_RUN)
+    collector = TimeseriesCollector(5_000.0)
+    prof = StallProfiler()
+    on = run_on_simulator(result, trace, timeseries=collector,
+                          profiler=prof, **_RUN)
+    assert _run_signature(on) == _run_signature(off)
+    names = {name for w in collector.windows
+             for name in (w.get("counters") or {})}
+    assert any(n.startswith("occ.exec") for n in names), names
+    assert any(n.startswith("occ.mem_busy") for n in names), names
+    # Window deltas of exec cycles reconcile with the final attribution
+    # (both are rounded per window, so compare loosely).
+    total_exec = sum(v for w in collector.windows
+                     for n, v in (w.get("counters") or {}).items()
+                     if n.startswith("occ.exec"))
+    agg = aggregate_attribution(on.occupancy)
+    assert total_exec == pytest.approx(agg["exec"], rel=0.05)
+
+
+# -- sweep + diff + report surfacing --------------------------------------------
+
+
+def _occupancy_sweep(tmp_path, tag):
+    from repro.sweep import CompileCache, build_jobs, run_sweep
+    from repro.sweep.orchestrator import WorkerConfig
+
+    out = tmp_path / tag
+    out.mkdir()
+    jobs = build_jobs(["l3switch"], levels=["SWC"], me_counts=[2],
+                      table1=False, rate_warmup=30, rate_measure=60)
+    cache = CompileCache(str(tmp_path / ("cache_" + tag)))
+    cfg = WorkerConfig(cache_dir=cache.cache_dir, use_cache=True,
+                       profile=True)
+    sweep = run_sweep(jobs, n_procs=1, cache=cache, cfg=cfg)
+    paths = sweep.write_bench_files(str(out))
+    return sweep, paths
+
+
+def test_sweep_profile_emits_reproducible_occupancy_bench(tmp_path):
+    sweep1, paths1 = _occupancy_sweep(tmp_path, "a")
+    sweep2, paths2 = _occupancy_sweep(tmp_path, "b")
+    occ1 = [p for p in paths1 if p.endswith("BENCH_occupancy.json")]
+    occ2 = [p for p in paths2 if p.endswith("BENCH_occupancy.json")]
+    assert occ1 and occ2
+    with open(occ1[0], "rb") as fh:
+        blob1 = fh.read()
+    with open(occ2[0], "rb") as fh:
+        blob2 = fh.read()
+    assert blob1 == blob2
+
+    data = json.loads(blob1)
+    assert data["kind"] == "bench_occupancy"
+    assert set(data["cells"]) == {"l3switch/SWC@2"}
+    cell = data["cells"]["l3switch/SWC@2"]
+    assert cell["rate_gbps"] == round(
+        sweep1.series("l3switch")["SWC"][0], 3)
+
+    # Self-diff gates clean at zero tolerance...
+    text, code = obs_diff.run_diff(occ1[0], occ2[0], tolerance=0.0)
+    assert code == 0, text
+
+    # ...the bottleneck report renders the cell...
+    from repro.obs.report import bottleneck_main, render_bottleneck
+
+    rendered = render_bottleneck(data)
+    assert "l3switch / SWC" in rendered
+    assert cell["verdict"]["kind"] in rendered
+    assert bottleneck_main([occ1[0]]) == 0
+
+    # ...and a mutated verdict is a regression (exit 2).
+    mutated = dict(data)
+    mutated["cells"] = {k: dict(v) for k, v in data["cells"].items()}
+    mcell = mutated["cells"]["l3switch/SWC@2"]
+    mcell["verdict"] = dict(mcell["verdict"], kind="compute-bound",
+                            channel=None)
+    mut_path = tmp_path / "mutated.json"
+    mut_path.write_text(json.dumps(mutated))
+    text, code = obs_diff.run_diff(occ1[0], str(mut_path), tolerance=0.0)
+    assert code == obs_diff.EXIT_REGRESSION
+    assert "verdict changed" in text
+
+
+def test_diff_occupancy_gates_vanished_cell_and_share_shift(tmp_path):
+    base = {"kind": "bench_occupancy", "figure": "occupancy", "cells": {
+        "app/SWC@2": {"rate_gbps": 1.0, "shares": {"exec": 0.5},
+                      "verdict": {"kind": "compute-bound",
+                                  "channel": None}},
+        "app/SWC@4": {"rate_gbps": 2.0, "shares": {"exec": 0.5},
+                      "verdict": {"kind": "compute-bound",
+                                  "channel": None}},
+    }}
+    shifted = {"kind": "bench_occupancy", "figure": "occupancy", "cells": {
+        "app/SWC@2": {"rate_gbps": 1.0, "shares": {"exec": 0.3},
+                      "verdict": {"kind": "compute-bound",
+                                  "channel": None}},
+    }}
+    old = tmp_path / "old.json"
+    new = tmp_path / "new.json"
+    old.write_text(json.dumps(base))
+    new.write_text(json.dumps(shifted))
+    text, code = obs_diff.run_diff(str(old), str(new), tolerance=0.05)
+    assert code == obs_diff.EXIT_REGRESSION
+    assert "vanished" in text and "share shifted" in text
+
+
+def test_diff_rejects_unknown_kind(tmp_path, capsys):
+    good = tmp_path / "good.json"
+    bad = tmp_path / "bad.json"
+    good.write_text(json.dumps({"kind": "bench_occupancy", "cells": {}}))
+    bad.write_text(json.dumps({"kind": "bench_v2_totally_real"}))
+    # Unknown kind is a failed gate (exit 2), never a clean empty diff.
+    assert obs_diff.main([str(good), str(bad)]) == obs_diff.EXIT_REGRESSION
+    assert obs_diff.main([str(bad), str(good)]) == obs_diff.EXIT_REGRESSION
+    err = capsys.readouterr().err
+    assert "unknown kind" in err and "bench_v2_totally_real" in err
+    # Missing kind stays a plain usage error (exit 1).
+    nokind = tmp_path / "nokind.json"
+    nokind.write_text(json.dumps({"cells": {}}))
+    assert obs_diff.main([str(nokind), str(good)]) == 1
+
+
+def test_bottleneck_report_rejects_wrong_kind(tmp_path, capsys):
+    from repro.obs.report import bottleneck_main
+
+    wrong = tmp_path / "wrong.json"
+    wrong.write_text(json.dumps({"kind": "bench", "figure": "fig13"}))
+    assert bottleneck_main([str(wrong)]) == 1
+    assert "bench_occupancy" in capsys.readouterr().err
+    assert bottleneck_main([str(tmp_path / "absent.json")]) == 1
+
+
+# -- serve integration ----------------------------------------------------------
+
+
+def test_serve_profile_is_pure_observation():
+    from repro.serve.harness import ServeConfig, run_service
+
+    base = dict(app="l3switch", level="O1", n_mes=2, windows=6,
+                window_cycles=20_000.0, offered_gbps=2.0)
+    off = run_service(ServeConfig(**base))
+    on = run_service(ServeConfig(profile=True, **base))
+    assert off.occupancy is None
+    assert on.occupancy is not None
+    # The churn bench payload -- the committed artifact -- is identical.
+    assert on.bench == off.bench
+    assert on.occupancy["verdict"]["text"].startswith("l3switch @2ME: ")
+    names = {name for w in on.collector.windows
+             for name in (w.get("counters") or {})}
+    assert any(n.startswith("occ.") for n in names), names
