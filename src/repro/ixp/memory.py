@@ -137,10 +137,22 @@ class MemorySystem:
                     store[addr + i * 4 + b] = data[b]
 
     def read_bytes(self, space: str, addr: int, n: int) -> bytes:
-        return bytes(self.stores[space][addr : addr + n])
+        store = self.stores[space]
+        if addr < 0 or addr + n > len(store):
+            # Unchecked, an out-of-range slice silently *truncates* (a
+            # short Tx payload instead of an error). Same contract as
+            # read_words.
+            raise IndexError("%s read out of range at %#x" % (space, addr))
+        return bytes(store[addr : addr + n])
 
     def write_bytes(self, space: str, addr: int, data: bytes) -> None:
-        self.stores[space][addr : addr + len(data)] = data
+        store = self.stores[space]
+        if addr < 0 or addr + len(data) > len(store):
+            # Unchecked, bytearray slice assignment past the end silently
+            # *grows* the backing store beyond SIZES. Same contract as
+            # write_words.
+            raise IndexError("%s write out of range at %#x" % (space, addr))
+        store[addr : addr + len(data)] = data
 
     # -- timed access from MEs -----------------------------------------------------
 

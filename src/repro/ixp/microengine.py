@@ -46,12 +46,18 @@ class SimError(RuntimeError):
 
 
 DISPATCH_MODES = ("fast", "legacy")
+#: Engine selection accepts the dispatch cores plus ``fastforward`` --
+#: the run-level batched functional mode (repro.ixp.fastforward).
+#: run_on_simulator routes it before MEs are built; an ME asked for it
+#: directly runs its cycle-accurate ``fast`` core (the fast-forward
+#: engine drives threads itself and only needs the predecoded program).
+ENGINE_MODES = DISPATCH_MODES + ("fastforward",)
 
 
 def default_dispatch() -> str:
-    """Process-wide default dispatch core (``REPRO_SIM_DISPATCH``)."""
+    """Process-wide default engine mode (``REPRO_SIM_DISPATCH``)."""
     mode = os.environ.get("REPRO_SIM_DISPATCH", "fast")
-    return mode if mode in DISPATCH_MODES else "fast"
+    return mode if mode in ENGINE_MODES else "fast"
 
 
 class Thread:
@@ -102,9 +108,11 @@ class Microengine:
         # non-preemptive: it MUST continue before any other runs).
         self.resume_thread: Optional[Thread] = None
         dispatch = dispatch if dispatch is not None else default_dispatch()
+        if dispatch == "fastforward":
+            dispatch = "fast"
         if dispatch not in DISPATCH_MODES:
             raise ValueError("unknown dispatch mode %r (expected one of %s)"
-                             % (dispatch, ", ".join(DISPATCH_MODES)))
+                             % (dispatch, ", ".join(ENGINE_MODES)))
         self.dispatch = dispatch
         # Predecoded step program; bound lazily on first run so the
         # loader has resolved symbols and created rings by then.

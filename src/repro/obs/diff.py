@@ -35,6 +35,12 @@ empty diff -- a typo'd or future-format file must fail CI loudly.
   cell may vanish, rates must not drop beyond ``--tolerance``
   (fractional), and no attribution share may shift beyond
   ``--tolerance`` (absolute).
+* **ffspeed bench vs ffspeed bench** (``python -m repro.sweep
+  --engine fastforward`` output) -- gates the two-speed engine's
+  calibration: no app/level/cell may vanish, no cell's modelled rate
+  may drop beyond ``--tolerance`` (fractional), and any recorded
+  accuracy figure (``err_pct`` vs the converged cycle-accurate
+  reference) must stay within the file's own ``error_bound_pct``.
 
 Two identical files always diff clean and exit 0.
 """
@@ -51,7 +57,8 @@ from typing import Dict, List, Optional, Tuple
 EXIT_REGRESSION = 2
 
 #: Every file format this tool knows how to diff.
-KNOWN_KINDS = ("compile_report", "bench", "bench_churn", "bench_occupancy")
+KNOWN_KINDS = ("compile_report", "bench", "bench_churn", "bench_occupancy",
+               "bench_ffspeed")
 
 
 class SystemExit2(Exception):
@@ -365,6 +372,90 @@ def diff_occupancy(old: dict, new: dict,
     return lines, regressions
 
 
+# -- ffspeed bench vs ffspeed bench ---------------------------------------------------
+
+
+def diff_ffspeed(old: dict, new: dict,
+                 tolerance: float) -> Tuple[List[str], List[str]]:
+    """Gate the fast-forward engine's BENCH_ffspeed.json: the modelled
+    rate grid is the benchmark, so a vanished app/level/cell or a rate
+    drop beyond ``tolerance`` (fractional) is a regression. Cells that
+    carry an ``err_pct`` accuracy figure (written by the ffspeed
+    benchmark, which also runs the converged cycle-accurate reference)
+    must additionally stay within the file's own ``error_bound_pct`` --
+    a fast model that drifted outside its documented bound is broken
+    even if it got *faster*."""
+    lines: List[str] = []
+    regressions: List[str] = []
+    bound = float(new.get("error_bound_pct") or
+                  old.get("error_bound_pct") or 0.0)
+    o_apps = old.get("apps") or {}
+    n_apps = new.get("apps") or {}
+    lines.append("ffspeed bench diff: %d -> %d apps, error bound %.1f%%"
+                 % (len(o_apps), len(n_apps), bound))
+
+    changed = False
+    for app in sorted(set(o_apps) | set(n_apps)):
+        if app not in n_apps:
+            lines.append("  %s: vanished" % app)
+            regressions.append("app %s vanished from the new file" % app)
+            changed = True
+            continue
+        if app not in o_apps:
+            lines.append("  %s: only in new file" % app)
+            changed = True
+        o_levels = (o_apps.get(app) or {}).get("levels") or {}
+        n_levels = (n_apps.get(app) or {}).get("levels") or {}
+        for level in sorted(set(o_levels) | set(n_levels)):
+            key = "%s/%s" % (app, level)
+            if level not in n_levels:
+                lines.append("  %s: vanished" % key)
+                regressions.append("level %s vanished from the new file"
+                                   % key)
+                changed = True
+                continue
+            o_cells = (o_levels.get(level) or {}).get("cells") or {}
+            n_cells = (n_levels.get(level) or {}).get("cells") or {}
+            for n_mes in sorted(set(o_cells) | set(n_cells),
+                                key=lambda s: (len(s), s)):
+                cell = "%s@%sME" % (key, n_mes)
+                a, b = o_cells.get(n_mes), n_cells.get(n_mes)
+                if b is None:
+                    lines.append("  %s: vanished" % cell)
+                    regressions.append("cell %s vanished from the new file"
+                                       % cell)
+                    changed = True
+                    continue
+                if a is not None and a == b:
+                    continue
+                changed = True
+                ra = (a or {}).get("gbps", 0.0)
+                rb = b.get("gbps", 0.0)
+                if a is None:
+                    lines.append("  %s: only in new file (%.4f Gbps, %s)"
+                                 % (cell, rb, b.get("mode")))
+                elif ra != rb:
+                    lines.append("  %s: rate %.4f -> %.4f Gbps"
+                                 % (cell, ra, rb))
+                if a is not None and ra > 0 and rb < ra * (1 - tolerance):
+                    regressions.append(
+                        "%s: rate dropped %.4f -> %.4f Gbps (-%.1f%%, "
+                        "tolerance %.0f%%)" % (cell, ra, rb,
+                                               100 * (ra - rb) / ra,
+                                               100 * tolerance))
+                if a is not None and a.get("mode") != b.get("mode"):
+                    lines.append("  %s: pricing mode %s -> %s"
+                                 % (cell, a.get("mode"), b.get("mode")))
+                err = b.get("err_pct")
+                if err is not None and bound > 0 and abs(err) > bound:
+                    regressions.append(
+                        "%s: model error %.2f%% exceeds the documented "
+                        "bound of %.1f%%" % (cell, err, bound))
+    if not changed:
+        lines.append("  grids identical")
+    return lines, regressions
+
+
 # -- CLI ------------------------------------------------------------------------------
 
 
@@ -390,6 +481,10 @@ def run_diff(old_path: str, new_path: str, tolerance: float = 0.05,
                                                             regressions)
     elif old["kind"] == "bench_occupancy":
         lines, regressions = diff_occupancy(old, new, tolerance)
+        fatal = bool(regressions) if gate is None else bool(gate and
+                                                            regressions)
+    elif old["kind"] == "bench_ffspeed":
+        lines, regressions = diff_ffspeed(old, new, tolerance)
         fatal = bool(regressions) if gate is None else bool(gate and
                                                             regressions)
     else:

@@ -17,6 +17,7 @@ from typing import List, Optional
 from repro.ixp.chip import IXP2400
 from repro.ixp.counters import AccessProfile, Counters
 from repro.ixp.memory import ME_HZ
+from repro.ixp.microengine import default_dispatch
 from repro.ixp.rxtx import RxEngine, TxEngine
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
@@ -48,6 +49,10 @@ class RunResult:
     # Stall-attribution snapshot (repro.obs.profile), present only when
     # a profiler was passed to run_on_simulator.
     occupancy: Optional[dict] = None
+    # Fast-forward plan summary + pricing mode (repro.ixp.fastforward),
+    # present only for dispatch="fastforward" runs -- those results are
+    # model-priced, not measured, and this records how.
+    fastforward: Optional[dict] = None
 
     def tx_signature(self) -> List[bytes]:
         return sorted(self.tx_payloads)
@@ -69,6 +74,7 @@ def run_on_simulator(
     registry: Optional[obs_metrics.MetricsRegistry] = None,
     timeseries=None,
     profiler=None,
+    plan_key=None,
 ) -> RunResult:
     """Load and run a compiled program; measure steady-state behavior.
 
@@ -93,7 +99,14 @@ def run_on_simulator(
     the default) or ``"legacy"`` (the reference interpreter). The two
     produce bit-identical results (tests/test_fastpath.py); legacy is
     kept for equivalence testing and the sim-speed benchmark's speedup
-    column.
+    column. ``"fastforward"`` instead routes the whole run to the
+    batched functional engine (:mod:`repro.ixp.fastforward`): the
+    forwarding rate comes from a calibrated cost model with documented
+    error bounds, not a cycle-accurate measurement, and time-attributing
+    observers (tracer / timeseries / profiler) are refused. ``plan_key``
+    (fast-forward only) is a stable identity for (program, trace) under
+    which the calibration plan is memoized per process; the sweep
+    passes (app, level, trace packets, trace seed).
 
     ``registry`` runs the whole load+simulate under a private metrics
     registry (installed process-globally for the duration, so loader
@@ -114,6 +127,19 @@ def run_on_simulator(
     observation -- profiled runs are bit-identical to unprofiled ones
     (tests/test_profile.py).
     """
+    engine = dispatch if dispatch is not None else default_dispatch()
+    if engine == "fastforward":
+        # Whole-run reroute to the batched functional engine. Refusals
+        # (profiler & co.) happen inside run_fastforward so direct
+        # callers get the same contract.
+        from repro.ixp.fastforward import run_fastforward
+
+        return run_fastforward(
+            result, trace, n_mes=n_mes, registry=registry,
+            plan_key=plan_key, tracer=tracer,
+            timeseries=timeseries, profiler=profiler,
+            trace_json=trace_json or os.environ.get("REPRO_TRACE_JSON"),
+            trace_events_jsonl=trace_events_jsonl)
     if registry is not None:
         with obs_metrics.scoped_registry(registry):
             return run_on_simulator(

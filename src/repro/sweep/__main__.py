@@ -100,7 +100,22 @@ def main(argv=None) -> int:
                          "(repro.obs.profile) to every rate run and "
                          "write BENCH_occupancy.json; measured rates "
                          "are bit-identical either way")
+    ap.add_argument("--engine", default=None,
+                    choices=["fast", "legacy", "fastforward"],
+                    help="simulation engine for rate cells: fast "
+                         "(predecoded cycle-accurate, the default), "
+                         "legacy (reference interpreter), or "
+                         "fastforward (batched functional execution "
+                         "with a calibrated cost model; writes "
+                         "BENCH_ffspeed.json instead of the Tier-1 "
+                         "figure files)")
     args = ap.parse_args(argv)
+
+    if args.engine == "fastforward" and args.profile:
+        ap.error("--engine fastforward cannot honor --profile: the "
+                 "stall profiler attributes simulated time, which the "
+                 "functional engine does not model; drop one of the "
+                 "two flags (Tier-1 figures always run cycle-accurate)")
 
     apps = _csv(args.apps)
     levels = _csv(args.levels)
@@ -116,14 +131,20 @@ def main(argv=None) -> int:
     if args.ledger:
         obs_ledger.enable()
     cache = CompileCache(args.cache_dir, enabled=not args.no_cache)
+    # A fast-forward sweep is a rate-model exploration: Table 1 rows
+    # (access counts) have no fast-forward pricing, so they are dropped
+    # rather than silently run cycle-accurate at shallow windows.
+    table1 = not args.no_table1 and args.engine != "fastforward"
     jobs = build_jobs(apps, levels=levels, me_counts=me_counts,
-                      table1=not args.no_table1,
+                      table1=table1,
                       rate_warmup=args.warmup, rate_measure=args.measure,
                       table1_measure=args.table1_measure)
-    print("sweep: %d jobs (%s x %s x MEs %s%s), %d process%s, cache %s"
+    print("sweep: %d jobs (%s x %s x MEs %s%s), engine %s, "
+          "%d process%s, cache %s"
           % (len(jobs), ",".join(apps), ",".join(levels),
              ",".join(map(str, me_counts)),
-             "" if args.no_table1 else " + table1",
+             " + table1" if table1 else "",
+             args.engine or "fast",
              args.jobs, "" if args.jobs == 1 else "es",
              cache.cache_dir if cache.enabled else "OFF"))
 
@@ -134,7 +155,7 @@ def main(argv=None) -> int:
                        trace_seed=args.trace_seed, obs=True,
                        ledger=args.ledger, analyze=args.analyze,
                        analyze_packets=args.analyze_packets,
-                       profile=args.profile)
+                       profile=args.profile, engine=args.engine)
     sweep = run_sweep(jobs, n_procs=args.jobs, cache=cache, cfg=cfg,
                       merge_into=reg)
 

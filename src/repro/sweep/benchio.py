@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import json
 import os
+import sys
 import tempfile
 from contextlib import contextmanager
 from typing import Dict
@@ -77,7 +78,16 @@ def merge_bench_json(path: str, figure: str, payload: Dict,
     ``"bench_churn"``). The whole read-merge-write runs atomically
     under :func:`locked`. Output is deterministic: stable key order, no
     timestamps.
+
+    An existing file that cannot be parsed is **not** silently
+    rewritten (that used to discard every other producer's merged keys
+    -- e.g. Table 1 counts vanished with no signal): the unreadable
+    content is preserved as a ``<path>.corrupt`` sidecar, a warning
+    goes to stderr, and the ``sweep.bench_merge{result="corrupt"}``
+    counter is bumped before the fresh payload is written.
     """
+    from repro.obs import metrics as obs_metrics
+
     with locked(path):
         data: Dict = {}
         if os.path.exists(path):
@@ -86,8 +96,22 @@ def merge_bench_json(path: str, figure: str, payload: Dict,
                     existing = json.load(fh)
                 if isinstance(existing, dict):
                     data.update(existing)
-            except (OSError, json.JSONDecodeError):
-                pass  # rewrite a corrupt file from scratch
+            except (OSError, json.JSONDecodeError) as exc:
+                sidecar = path + ".corrupt"
+                try:
+                    os.replace(path, sidecar)
+                except OSError:
+                    sidecar = None
+                print("warning: bench file %s is unreadable (%s); "
+                      "previously merged keys are lost%s"
+                      % (path, exc,
+                         ", original preserved as %s" % sidecar
+                         if sidecar else ""),
+                      file=sys.stderr)
+                reg = obs_metrics.get_registry()
+                if reg.enabled:
+                    reg.counter("sweep.bench_merge",
+                                result="corrupt").inc()
         for key, value in payload.items():
             if isinstance(value, dict) and isinstance(data.get(key), dict):
                 data[key].update(value)

@@ -1,0 +1,284 @@
+"""The two-speed engine's contract, plus the DMA-bounds and
+bench-merge bugfix regressions that ride in the same change.
+
+The expensive evidence lives in one module-scoped mpls calibration
+plan: building it *is* the cross-engine equivalence test (the resync
+windows inside ``build_plan`` raise on any divergence between the
+functional engine and a cycle-accurate replay of the same packets --
+exact Tx payload multisets, exact ring deltas, exact poll-adjusted
+scratch/dram counters), and the cheaper per-property tests interrogate
+the finished plan instead of rebuilding it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.ixp import fastforward as ff
+from repro.ixp.fastforward import FastForwardError
+from repro.ixp.memory import MemorySystem
+from repro.obs import diff as obs_diff
+from repro.obs import metrics as obs_metrics
+from repro.rts.system import run_on_simulator
+from repro.sweep import CompileCache, build_jobs, merge_bench_json, run_sweep
+from repro.sweep.orchestrator import WorkerConfig
+
+PLAN_KEY = ("mpls", "SWC", 200, 5)
+
+
+@pytest.fixture(scope="module")
+def mpls_plan():
+    """(CompileResult, Trace, FastForwardPlan) for mpls/SWC, built once
+    cold (the build itself asserts functional/cycle-accurate agreement
+    in the resync windows)."""
+    result, trace, _hit = CompileCache().get_or_compile("mpls", "SWC",
+                                                        200, 5)
+    ff._PLAN_MEMO.clear()
+    plan = ff.get_plan(result, trace, plan_key=PLAN_KEY)
+    return result, trace, plan
+
+
+# -- satellite regression: byte-granular DMA bounds ------------------------------
+
+
+def test_read_bytes_out_of_range():
+    """Out-of-range byte reads raise instead of silently truncating
+    the returned slice (a short Tx payload is data corruption, not an
+    error the caller can see)."""
+    mem = MemorySystem()
+    size = len(mem.stores["scratch"])
+    assert mem.read_bytes("scratch", size - 4, 4) == b"\x00" * 4
+    with pytest.raises(IndexError):
+        mem.read_bytes("scratch", size - 3, 4)
+    with pytest.raises(IndexError):
+        mem.read_bytes("scratch", -1, 4)
+
+
+def test_write_bytes_out_of_range():
+    """Out-of-range byte writes raise instead of silently *growing*
+    the bytearray backing store past the configured channel size."""
+    mem = MemorySystem()
+    size = len(mem.stores["sram"])
+    mem.write_bytes("sram", size - 2, b"\xAA\xBB")
+    assert len(mem.stores["sram"]) == size
+    with pytest.raises(IndexError):
+        mem.write_bytes("sram", size - 1, b"\xAA\xBB")
+    with pytest.raises(IndexError):
+        mem.write_bytes("sram", -1, b"\xAA")
+    assert len(mem.stores["sram"]) == size, "store must not have grown"
+
+
+# -- satellite regression: corrupt bench files are preserved, not eaten ----------
+
+
+def test_bench_merge_corrupt_sidecar(tmp_path, capsys):
+    """An unparsable BENCH file is moved to a ``.corrupt`` sidecar
+    (bytes preserved for forensics), a warning names it on stderr, and
+    the merge counts the event -- the fresh payload then starts a clean
+    file rather than crashing or silently discarding the old bytes."""
+    path = str(tmp_path / "BENCH_fig13.json")
+    with open(path, "w") as fh:
+        fh.write("{half a json docum")
+
+    reg = obs_metrics.MetricsRegistry()
+    with obs_metrics.scoped_registry(reg):
+        merge_bench_json(path, "fig13", {"rates": {"SWC": [1.0]}})
+
+    with open(path + ".corrupt") as fh:
+        assert fh.read() == "{half a json docum"
+    err = capsys.readouterr().err
+    assert "unreadable" in err and path in err
+    assert reg.counter("sweep.bench_merge", result="corrupt").value == 1
+    with open(path) as fh:
+        data = json.load(fh)
+    assert data["kind"] == "bench"
+    assert data["rates"] == {"SWC": [1.0]}
+
+
+# -- the calibration plan ---------------------------------------------------------
+
+
+def test_resync_windows_agree(mpls_plan):
+    """Every resync window replayed both engines to quiescence and
+    compared Tx payloads + counters exactly (a mismatch raises inside
+    build_plan); here we pin the evidence that lands in the plan."""
+    _, _, plan = mpls_plan
+    assert len(plan.resync) == len(ff.RESYNC_OFFSETS)
+    for window, offset in zip(plan.resync, ff.RESYNC_OFFSETS):
+        assert window["offset"] == offset
+        assert window["packets_out"] > 0
+        assert window["sram_drift"] <= ff.RESYNC_COUNTER_TOL
+
+
+def test_biased_anchor_is_cycle_identical(mpls_plan):
+    """Anchors run with the bias-fused program must be *cycle*-identical
+    to plain predecoded dispatch -- same rate, same adaptive stopping
+    depth -- because superblock fusion across biased branches preserves
+    the schedule, not just the semantics."""
+    result, trace, plan = mpls_plan
+    assert plan.fused is not None
+    d_plain, d_fused = {}, {}
+    r_plain = ff._anchor_rate(result, trace, 2, depths=d_plain)
+    r_fused = ff._anchor_rate(result, trace, 2, depths=d_fused,
+                              fused=plan.fused)
+    assert r_plain == r_fused
+    assert d_plain == d_fused
+
+
+def test_rate_within_bound_of_converged_reference(mpls_plan):
+    """An anchored cell must land within the documented bound of the
+    cycle-accurate engine's own converged estimate (600+2500 packets).
+    The full 18-cell table lives in benchmarks/bench_ffspeed.py; one
+    cell here keeps the contract under plain pytest."""
+    result, trace, plan = mpls_plan
+    ref = run_on_simulator(result, trace, n_mes=1,
+                           warmup_packets=ff.REF_WARMUP,
+                           measure_packets=ff.REF_MEASURE,
+                           max_cycles=ff.ANCHOR_MAX_CYCLES,
+                           dispatch="fast").forwarding_gbps
+    gbps, mode = plan.rate(1)
+    assert mode == "anchored"
+    err = 100.0 * abs(gbps - ref) / ref
+    assert err <= ff.RATE_ERROR_BOUND_PCT, (
+        "fast-forward off by %.2f%% at 1 ME" % err)
+
+
+def test_saturated_cells_priced_at_channel_cap(mpls_plan):
+    """mpls saturates its DRAM channel by 3 MEs: the model prices those
+    cells at the channel cap without any cycle-accurate run, and the
+    Amdahl curve through anchors 1-2 clears the cap by the margin."""
+    _, _, plan = mpls_plan
+    gbps, mode = plan.rate(3)
+    assert mode == "saturated"
+    assert gbps == plan.chcap_gbps
+    assert plan.amdahl(3) >= ff.SATURATION_MARGIN * plan.chcap_gbps
+    assert plan.bottleneck == "dram"
+
+
+def test_plan_memo_and_describe_determinism(mpls_plan):
+    """get_plan memoizes per plan_key, and two cold calibrations of the
+    same program produce byte-identical describe() output."""
+    result, trace, plan = mpls_plan
+    assert ff.get_plan(result, trace, plan_key=PLAN_KEY) is plan
+    fresh = ff.build_plan(result, trace)
+    for n in range(1, 7):
+        fresh.rate(n)
+        plan.rate(n)
+    assert json.dumps(fresh.describe(), sort_keys=True) == \
+        json.dumps(plan.describe(), sort_keys=True)
+
+
+def test_run_on_simulator_fastforward_route(mpls_plan):
+    """dispatch="fastforward" routes through the plan: the RunResult
+    carries the pricing evidence and no fake cycle-accurate fields."""
+    result, trace, plan = mpls_plan
+    run = run_on_simulator(result, trace, n_mes=4,
+                           dispatch="fastforward", plan_key=PLAN_KEY)
+    assert run.fastforward is not None
+    assert run.fastforward["mode"] in ("anchored", "saturated")
+    assert run.forwarding_gbps == plan.rate(4)[0]
+    assert run.packets_measured == 0 and run.sim_cycles == 0.0
+
+
+# -- refusals: no unlabeled time attribution --------------------------------------
+
+
+def test_fastforward_refuses_time_attributing_observers(mpls_plan):
+    result, trace, _ = mpls_plan
+    for kwargs in ({"profiler": object()}, {"tracer": object()},
+                   {"timeseries": object()}, {"trace_json": "/tmp/x.json"}):
+        with pytest.raises(FastForwardError):
+            ff.run_fastforward(result, trace, n_mes=1, **kwargs)
+
+
+def test_worker_config_refuses_fastforward_profile():
+    with pytest.raises(ValueError):
+        WorkerConfig(engine="fastforward", profile=True)
+    WorkerConfig(engine="fastforward", profile=False)  # fine
+
+
+def test_sweep_cli_refuses_fastforward_profile():
+    from repro.sweep.__main__ import main as sweep_main
+    with pytest.raises(SystemExit) as exc:
+        sweep_main(["--engine", "fastforward", "--profile",
+                    "--apps", "mpls"])
+    assert exc.value.code == 2
+
+
+# -- the sweep integration: BENCH_ffspeed.json ------------------------------------
+
+
+def _ff_sweep(out_dir, cache_dir):
+    jobs = build_jobs(["mpls"], levels=["SWC"], me_counts=[1, 2, 3],
+                      table1=False)
+    cfg = WorkerConfig(cache_dir=cache_dir, engine="fastforward",
+                       obs=False)
+    sweep = run_sweep(jobs, n_procs=1, cache=CompileCache(cache_dir),
+                      cfg=cfg)
+    return sweep, sweep.write_bench_files(str(out_dir))
+
+
+def test_sweep_ffspeed_byte_reproducible(tmp_path):
+    """Two cold fast-forward sweeps write byte-identical
+    BENCH_ffspeed.json (and nothing else -- the Tier-1 figure files
+    stay cycle-accurate by construction), and the ffspeed diff gate
+    reads the file and passes it clean against itself."""
+    out1, out2 = tmp_path / "a", tmp_path / "b"
+    out1.mkdir(), out2.mkdir()
+    cache_dir = str(tmp_path / "cache")
+
+    ff._PLAN_MEMO.clear()
+    sweep1, paths1 = _ff_sweep(out1, cache_dir)
+    ff._PLAN_MEMO.clear()
+    sweep2, paths2 = _ff_sweep(out2, cache_dir)
+
+    assert [os.path.basename(p) for p in paths1] == ["BENCH_ffspeed.json"]
+    assert [os.path.basename(p) for p in paths2] == ["BENCH_ffspeed.json"]
+    assert sorted(os.listdir(out1)) == ["BENCH_ffspeed.json",
+                                        "BENCH_ffspeed.json.lock"]
+    with open(paths1[0], "rb") as fh1, open(paths2[0], "rb") as fh2:
+        assert fh1.read() == fh2.read()
+
+    with open(paths1[0]) as fh:
+        data = json.load(fh)
+    assert data["kind"] == "bench_ffspeed"
+    assert data["engine"] == "fastforward"
+    cells = data["apps"]["mpls"]["levels"]["SWC"]["cells"]
+    assert sorted(cells) == ["1", "2", "3"]
+    for cell in cells.values():
+        assert cell["gbps"] > 0
+        assert cell["mode"] in ("anchored", "saturated")
+
+    text, code = obs_diff.run_diff(paths1[0], paths2[0])
+    assert code == 0 and "no regressions" in text
+
+
+def test_diff_ffspeed_gates_regressions(tmp_path):
+    """The bench_ffspeed gate trips on rate drops, accuracy drift past
+    the file's own bound, and vanished cells -- and on nothing else."""
+    old = {"kind": "bench_ffspeed", "error_bound_pct": 2.0,
+           "apps": {"mpls": {"levels": {"SWC": {"cells": {
+               "1": {"gbps": 0.52, "mode": "anchored"},
+               "2": {"gbps": 0.80, "mode": "anchored"},
+               "3": {"gbps": 0.83, "mode": "saturated"},
+           }}}}}}
+    new = json.loads(json.dumps(old))
+    cells = new["apps"]["mpls"]["levels"]["SWC"]["cells"]
+    cells["1"]["gbps"] = 0.40          # dropped >5%
+    cells["2"]["err_pct"] = 2.5        # outside the documented bound
+    del cells["3"]                     # vanished
+
+    old_path, new_path = tmp_path / "old.json", tmp_path / "new.json"
+    old_path.write_text(json.dumps(old))
+    new_path.write_text(json.dumps(new))
+    text, code = obs_diff.run_diff(str(old_path), str(new_path))
+    assert code == obs_diff.EXIT_REGRESSION
+    assert "rate dropped" in text
+    assert "exceeds the documented bound" in text
+    assert "vanished" in text
+
+    text, code = obs_diff.run_diff(str(old_path), str(old_path))
+    assert code == 0
