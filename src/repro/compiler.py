@@ -137,9 +137,12 @@ def compile_ir(
     if opts.swc:
         with compile_stage(reg, "swc"):
             swc_result = swc.select_candidates(mod, profile,
-                                               result.fast_functions)
+                                               result.fast_functions,
+                                               exclude=opts.swc_exclude)
+            period = swc.enforce_check_period(swc_result,
+                                              opts.swc_check_period)
             swc.apply(mod, swc_result, result.fast_functions,
-                      check_period=opts.swc_check_period)
+                      check_period=period)
             result.swc_result = swc_result
         record_ir_stage(reg, "swc", mod)
 

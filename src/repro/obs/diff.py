@@ -41,6 +41,11 @@ empty diff -- a typo'd or future-format file must fail CI loudly.
   may drop beyond ``--tolerance`` (fractional), and any recorded
   accuracy figure (``err_pct`` vs the converged cycle-accurate
   reference) must stay within the file's own ``error_bound_pct``.
+* **tune bench vs tune bench** (``python -m repro.tune`` output) --
+  gates the autotuner: no app may vanish, the best confirmed rate must
+  not drop beyond ``--tolerance`` (fractional), and the evidence
+  pruning must not disappear entirely (regions pruned before, none
+  now).
 
 Two identical files always diff clean and exit 0.
 """
@@ -58,7 +63,7 @@ EXIT_REGRESSION = 2
 
 #: Every file format this tool knows how to diff.
 KNOWN_KINDS = ("compile_report", "bench", "bench_churn", "bench_occupancy",
-               "bench_ffspeed")
+               "bench_ffspeed", "bench_tune")
 
 
 class SystemExit2(Exception):
@@ -456,6 +461,78 @@ def diff_ffspeed(old: dict, new: dict,
     return lines, regressions
 
 
+# -- tune bench vs tune bench ---------------------------------------------------------
+
+
+def diff_tune(old: dict, new: dict,
+              tolerance: float) -> Tuple[List[str], List[str]]:
+    """Gate the autotuner's BENCH_tune.json: the tuned result *is* the
+    benchmark, so a vanished app, a best confirmed rate dropping beyond
+    ``tolerance`` (fractional), or the evidence pruning disappearing
+    entirely (old run pruned regions, new run pruned none -- the
+    pruner stopped consuming evidence) is a regression."""
+    lines: List[str] = []
+    regressions: List[str] = []
+    o_apps = old.get("apps") or {}
+    n_apps = new.get("apps") or {}
+    lines.append("tune bench diff: %d -> %d apps"
+                 % (len(o_apps), len(n_apps)))
+
+    changed = False
+    for app in sorted(set(o_apps) | set(n_apps)):
+        if app not in n_apps:
+            lines.append("  %s: vanished" % app)
+            regressions.append("app %s vanished from the new file" % app)
+            changed = True
+            continue
+        a, b = o_apps.get(app) or {}, n_apps[app] or {}
+        if app not in o_apps:
+            lines.append("  %s: only in new file" % app)
+            changed = True
+        if a == b:
+            continue
+        changed = True
+
+        o_best, n_best = a.get("best") or {}, b.get("best") or {}
+        ra = float(o_best.get("confirmed_gbps") or 0.0)
+        rb = float(n_best.get("confirmed_gbps") or 0.0)
+        if (o_best.get("config"), o_best.get("n_mes")) != \
+                (n_best.get("config"), n_best.get("n_mes")):
+            lines.append("  %s: best %s@%s -> %s@%s"
+                         % (app, o_best.get("config"), o_best.get("n_mes"),
+                            n_best.get("config"), n_best.get("n_mes")))
+        if ra != rb:
+            lines.append("  %s: best rate %.3f -> %.3f Gbps" % (app, ra, rb))
+        if o_best and not n_best:
+            regressions.append("%s: best configuration vanished "
+                               "(nothing confirmed)" % app)
+        elif ra > 0 and rb < ra * (1 - tolerance):
+            regressions.append(
+                "%s: best confirmed rate dropped %.3f -> %.3f Gbps "
+                "(-%.1f%%, tolerance %.0f%%)"
+                % (app, ra, rb, 100 * (ra - rb) / ra, 100 * tolerance))
+
+        o_pruned = a.get("pruned_regions") or []
+        n_pruned = b.get("pruned_regions") or []
+        if len(o_pruned) != len(n_pruned):
+            lines.append("  %s: pruned regions %d -> %d"
+                         % (app, len(o_pruned), len(n_pruned)))
+        if o_pruned and not n_pruned:
+            regressions.append(
+                "%s: evidence pruning vanished (%d regions -> 0); the "
+                "pruner stopped consuming ledger evidence"
+                % (app, len(o_pruned)))
+
+        o_trials = a.get("trials") or []
+        n_trials = b.get("trials") or []
+        if len(o_trials) != len(n_trials):
+            lines.append("  %s: trials %d -> %d"
+                         % (app, len(o_trials), len(n_trials)))
+    if not changed:
+        lines.append("  tuning results identical")
+    return lines, regressions
+
+
 # -- CLI ------------------------------------------------------------------------------
 
 
@@ -485,6 +562,10 @@ def run_diff(old_path: str, new_path: str, tolerance: float = 0.05,
                                                             regressions)
     elif old["kind"] == "bench_ffspeed":
         lines, regressions = diff_ffspeed(old, new, tolerance)
+        fatal = bool(regressions) if gate is None else bool(gate and
+                                                            regressions)
+    elif old["kind"] == "bench_tune":
+        lines, regressions = diff_tune(old, new, tolerance)
         fatal = bool(regressions) if gate is None else bool(gate and
                                                             regressions)
     else:

@@ -215,6 +215,9 @@ def _opt_section(result) -> Dict[str, object]:
         "rejected": dict(sorted(swc.rejected.items())),
         "rewritten_loads": swc.rewritten_loads,
         "instrumented_stores": swc.instrumented_stores,
+        "requested_check_period": swc.requested_check_period,
+        "check_period": swc.check_period,
+        "eq2_min_check_rate": swc.eq2_min_check_rate,
     }
     return out
 

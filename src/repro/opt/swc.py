@@ -32,7 +32,7 @@ The load-path rewrite (paper Figure 8)::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.baker import types as T
 from repro.baker.symbols import GlobalSymbol, SymbolKind
@@ -65,6 +65,11 @@ MIN_HIT_RATE = 0.70
 # Fraction of a structure's loads its hot lines must cover when sizing
 # its claim on the shared 16-entry CAM.
 WORKING_SET_FRACTION = 0.8
+# The paper's tolerable packet error rate (section 5.2): Equation 2
+# derives the minimum per-packet update-check rate from it. Every
+# accepted candidate's minimum must be satisfiable by the configured
+# check period -- enforced at compile time by enforce_check_period.
+TOLERABLE_ERROR_RATE = 0.01
 
 
 @dataclass
@@ -84,6 +89,21 @@ class SwcResult:
     rejected: Dict[str, str] = field(default_factory=dict)  # name -> reason
     rewritten_loads: int = 0
     instrumented_stores: int = 0
+    #: Largest Equation-2 minimum check rate over the accepted
+    #: candidates (0.0 when none store during the profile). The
+    #: configured check period must keep 1/period >= this.
+    eq2_min_check_rate: float = 0.0
+    #: Check period the user/tuner configured, and the period actually
+    #: compiled in after Equation-2 enforcement (None until
+    #: enforce_check_period runs or when nothing is cached).
+    requested_check_period: Optional[int] = None
+    check_period: Optional[int] = None
+    #: Per-candidate numeric evidence (accepted candidates only):
+    #: name -> {loads_per_packet, stores_per_packet, hit_rate at the
+    #: CAM capacity the structure actually competed for,
+    #: working_set_lines, eq2_min_check_rate}. The autotuner's pruner
+    #: reads this instead of trusting stale full-CAM estimates.
+    evidence: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def cached_names(self) -> List[str]:
         return [c.name for c in self.cached]
@@ -112,12 +132,16 @@ def _line_geometry(sym: GlobalSymbol) -> Optional[Tuple[int, int]]:
 
 
 def select_candidates(mod: IRModule, profile: ProfileData,
-                      fast_functions: Set[str]) -> SwcResult:
+                      fast_functions: Set[str],
+                      exclude: Sequence[str] = ()) -> SwcResult:
     """Choose globals to cache. ``fast_functions`` are the ME-mapped
-    aggregate functions (loads elsewhere are control path)."""
+    aggregate functions (loads elsewhere are control path). ``exclude``
+    names globals never considered (the ``swc_exclude`` option: the
+    autotuner searches over candidate sets with it)."""
     result = SwcResult()
     packets = max(profile.packets_in, 1)
     led = obs_ledger.get_ledger()
+    excluded = set(exclude)
 
     def _reject(name, reason, **evidence):
         result.rejected[name] = reason
@@ -130,6 +154,9 @@ def select_candidates(mod: IRModule, profile: ProfileData,
     screened = []  # (loads_per_packet, name, sym, line_bytes, line_words, stats)
     for name, sym in sorted(mod.globals.items()):
         if name.endswith(".__swc_flag"):
+            continue
+        if name in excluded:
+            _reject(name, "excluded by options (swc_exclude)")
             continue
         stats = profile.global_stats.get(name)
         if stats is None or name not in fast_loaded:
@@ -188,10 +215,39 @@ def select_candidates(mod: IRModule, profile: ProfileData,
                     % (ws, capacity),
                     working_set_lines=ws, cam_capacity_left=capacity)
             continue
+        stores_per_packet = stats.stores / packets
+        eq2 = min_check_rate(TOLERABLE_ERROR_RATE, stores_per_packet,
+                             loads_per_packet)
+        if eq2 > 1.0:
+            # Equation 2 demands more than one check per packet: no
+            # integer period can satisfy the 1% error bound, so the
+            # candidate is uncacheable outright.
+            _reject(name,
+                    "Equation 2 unsatisfiable (min check rate %.3f > 1/pkt)"
+                    % eq2,
+                    eq2_min_check_rate=eq2,
+                    stores_per_packet=stores_per_packet,
+                    loads_per_packet=loads_per_packet,
+                    tolerable_error_rate=TOLERABLE_ERROR_RATE)
+            continue
+        # Hit rate at the CAM capacity this structure actually competes
+        # for -- earlier admissions shrank it, so the full-CAM estimate
+        # from screening would be stale evidence.
+        hit_rate = stats.estimated_hit_rate(min(capacity, CAM_ENTRIES),
+                                            line_words)
         capacity -= ws
         result.cached.append(
             CacheSpec(name, gid, line_bytes, line_words, name + ".__swc_flag")
         )
+        result.eq2_min_check_rate = max(result.eq2_min_check_rate, eq2)
+        result.evidence[name] = {
+            "loads_per_packet": loads_per_packet,
+            "stores_per_packet": stores_per_packet,
+            "hit_rate": hit_rate,
+            "cam_capacity": float(capacity + ws),
+            "working_set_lines": float(ws),
+            "eq2_min_check_rate": eq2,
+        }
         if led.enabled:
             # Equation 2 evidence at the paper's 1% tolerable error rate.
             led.record(
@@ -199,13 +255,41 @@ def select_candidates(mod: IRModule, profile: ProfileData,
                 reason="hot, rarely written, working set fits the CAM",
                 gid=gid, line_bytes=line_bytes,
                 loads_per_packet=loads_per_packet,
-                stores_per_packet=stats.stores / packets,
-                hit_rate=stats.estimated_hit_rate(CAM_ENTRIES, line_words),
+                stores_per_packet=stores_per_packet,
+                hit_rate=hit_rate,
+                cam_capacity=capacity + ws,
                 working_set_lines=ws,
-                eq2_min_check_rate=min_check_rate(
-                    0.01, stats.stores / packets, loads_per_packet))
+                eq2_min_check_rate=eq2)
         gid += 1
     return result
+
+
+def enforce_check_period(result: SwcResult, requested: int) -> int:
+    """Clamp the configured check period so the implied check rate
+    (1/period) never falls below the Equation-2 minimum of any accepted
+    candidate. Returns the effective period and records a ledger
+    decision when the clamp fires. Before this existed, a tuned (or
+    hand-set) period silently violated the paper's 1% bound."""
+    result.requested_check_period = requested
+    effective = max(1, int(requested))
+    if result.cached and result.eq2_min_check_rate > 0.0:
+        max_period = max(1, int(1.0 / result.eq2_min_check_rate))
+        if effective > max_period:
+            led = obs_ledger.get_ledger()
+            led.record(
+                "swc", "check_period", "clamped",
+                reason="requested period %d implies check rate %.4g below "
+                       "Equation-2 minimum %.4g" % (
+                           effective, 1.0 / effective,
+                           result.eq2_min_check_rate),
+                requested_period=effective,
+                effective_period=max_period,
+                eq2_min_check_rate=result.eq2_min_check_rate,
+                implied_check_rate=1.0 / effective,
+                tolerable_error_rate=TOLERABLE_ERROR_RATE)
+            effective = max_period
+    result.check_period = effective if result.cached else None
+    return effective
 
 
 def _globals_in_critical_sections(mod: IRModule) -> Set[str]:

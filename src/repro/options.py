@@ -20,7 +20,7 @@ ablation benchmark.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 
 @dataclass(frozen=True)
@@ -33,9 +33,17 @@ class CompilerOptions:
     phr: bool = True  # packet handling removal
     swc: bool = True  # delayed-update software-controlled caching
     stack_opt: bool = True  # compact pSP/vSP stack layout
-    # SWC tuning: delayed-update coherency check period (packets) derived
-    # from Equation 2; exposed for tests/ablations.
+    # SWC tuning: delayed-update coherency check period (packets). A
+    # configured period is *requested*, not final: the compiler clamps
+    # it so the implied check rate (1/period) never falls below the
+    # Equation-2 minimum of any accepted candidate (repro.opt.swc
+    # enforce_check_period) -- the paper's 1% tolerable-error bound is
+    # a compiler invariant, not a user promise.
     swc_check_period: int = 16
+    # SWC candidate-set tuning: globals never considered for caching
+    # (sorted tuple of qualified names). The autotuner searches over
+    # candidate sets with this knob.
+    swc_exclude: Tuple[str, ...] = ()
     # Aggregation inputs:
     num_mes: int = 6  # programmable MEs (2 of 8 reserved for Rx/Tx)
     me_code_store: int = 4096  # instructions per ME
@@ -66,5 +74,11 @@ def options_for(level: str, **overrides) -> CompilerOptions:
     """Options for a named cumulative level, with keyword overrides."""
     opts = OPT_LEVELS[level.upper().lstrip("+-")]
     if overrides:
+        if "swc_exclude" in overrides:
+            # Normalize to a sorted tuple: the option participates in
+            # cache keys and job sort keys, so two spellings of the
+            # same set must compare (and hash) equal.
+            overrides["swc_exclude"] = tuple(
+                sorted(overrides["swc_exclude"]))
         opts = replace(opts, **overrides)
     return opts

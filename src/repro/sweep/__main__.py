@@ -117,15 +117,31 @@ def main(argv=None) -> int:
                  "functional engine does not model; drop one of the "
                  "two flags (Tier-1 figures always run cycle-accurate)")
 
+    # Fail fast on a bad grid, naming the offending token -- not a
+    # KeyError (or a hang) deep inside a spawned worker.
+    from repro.apps import APP_CLASSES
+
     apps = _csv(args.apps)
     levels = _csv(args.levels)
-    me_counts = [int(n) for n in _csv(args.me_counts)]
+    bad = [a for a in apps if a not in APP_CLASSES]
+    if bad:
+        ap.error("unknown apps: %s (choose from %s)"
+                 % (",".join(bad), ",".join(sorted(APP_CLASSES))))
     bad = [lv for lv in levels if lv not in LEVEL_ORDER]
     if bad:
         ap.error("unknown levels: %s (choose from %s)"
                  % (",".join(bad), ",".join(LEVEL_ORDER)))
+    try:
+        me_counts = [int(n) for n in _csv(args.me_counts)]
+    except ValueError:
+        ap.error("--me-counts must be comma-separated integers, got %r"
+                 % args.me_counts)
+    bad = [n for n in me_counts if n < 1]
+    if bad:
+        ap.error("--me-counts values must be >= 1, got %s"
+                 % ",".join(map(str, bad)))
     if args.jobs < 1:
-        ap.error("--jobs must be >= 1")
+        ap.error("--jobs must be >= 1, got %d" % args.jobs)
 
     reg = obs.enable()
     if args.ledger:

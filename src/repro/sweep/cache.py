@@ -180,20 +180,28 @@ class CompileCache:
     # -- the sweep's compile entry point -----------------------------------------
 
     def get_or_compile(self, app_name: str, level: str,
-                       trace_packets: int = 200, trace_seed: int = 5):
+                       trace_packets: int = 200, trace_seed: int = 5,
+                       overrides=None, target_gbps: float = 2.5):
         """``(CompileResult, Trace, hit)`` for one app at one level.
 
         On a miss the app is compiled through the full pipeline and the
         artifact stored; on a hit compilation is skipped entirely (the
         ``sweep.compile_cache`` metric and the ledger record which).
+
+        ``overrides`` (a mapping or tuple of (field, value) pairs) is
+        applied to the level's :class:`CompilerOptions` -- the tuner's
+        parameterized trials ride through here. Both it and
+        ``target_gbps`` participate in the cache fingerprint via the
+        options asdict / the explicit key field.
         """
         from repro.apps import get_app
         from repro.compiler import compile_baker
         from repro.options import options_for
 
         app = get_app(app_name)
-        opts = options_for(level)
-        key = cache_key(app.source, opts, trace_packets, trace_seed)
+        opts = options_for(level, **dict(overrides or ()))
+        key = cache_key(app.source, opts, trace_packets, trace_seed,
+                        target_gbps=target_gbps)
         reg = obs_metrics.get_registry()
         led = obs_ledger.get_ledger()
         cached = self.load(key)
@@ -220,6 +228,7 @@ class CompileCache:
                        reason="no artifact for fingerprint; compiling",
                        key=key[:16])
         trace = app.make_trace(trace_packets, seed=trace_seed)
-        result = compile_baker(app.source, opts, trace)
+        result = compile_baker(app.source, opts, trace,
+                               target_gbps=target_gbps)
         self.store(key, (result, trace))
         return result, trace, False

@@ -1,0 +1,295 @@
+"""Deterministic search driver for ``repro.tune``.
+
+The trial protocol is two-engine (fast-forward to explore, cycle-
+accurate to confirm) and four-phase, with evidence pruning between
+phases:
+
+1. **seed** -- compile one representative SWC configuration per
+   ``target_gbps`` (lowest check period; the compile cache makes this
+   free when the grid reuses it). Its selection evidence drives the
+   *period-beyond-clamp* rule before any exploration.
+2. **explore** -- every surviving generation-0 configuration at every
+   ME count through ``run_sweep(engine="fastforward")``.
+3. **refine** -- exclude variants of the best-exploring SWC
+   configuration, *noop-exclude*-pruned against its own selection
+   evidence, then explored the same way.
+4. **confirm** -- the ``confirm_top`` best configurations by explored
+   rate re-run cycle-accurately (the figures' engine and windows) in
+   ascending-ME waves with the stall profiler attached; the
+   *memory-bound-mes* rule prunes the remaining waves of a family as
+   verdicts arrive.
+
+Everything the driver emits is deterministic: rates are simulation
+outputs, trial order is sort-key order, pruning depends only on
+recorded evidence -- so ``--jobs 1`` and ``--jobs N`` produce
+byte-identical ``BENCH_tune.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs import ledger as obs_ledger
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.options import options_for
+from repro.sweep.cache import CompileCache, repo_root
+from repro.sweep.orchestrator import (
+    FIG_BY_APP,
+    RATE_MEASURE,
+    RATE_WARMUP,
+    TRACE_PACKETS,
+    TRACE_SEED,
+    SweepJob,
+    WorkerConfig,
+    run_sweep,
+    swc_summary,
+)
+from repro.tune import pruner
+from repro.tune.space import (
+    SearchSpace,
+    TrialConfig,
+    base_trials,
+    exclude_trials,
+)
+
+
+@dataclass
+class Cell:
+    """One evaluated (configuration, ME count) grid cell."""
+
+    config: TrialConfig
+    n_mes: int
+    explore_gbps: Optional[float] = None
+    explore_mode: Optional[str] = None  # fast-forward pricing mode
+    confirmed_gbps: Optional[float] = None
+
+    def key(self) -> Tuple:
+        return self.config.sort_key() + (self.n_mes,)
+
+
+@dataclass
+class TuneOutcome:
+    """Everything one app's tuning run learned."""
+
+    app: str
+    space: SearchSpace
+    cells: List[Cell] = field(default_factory=list)
+    pruned: List[pruner.PrunedRegion] = field(default_factory=list)
+    frontier: List[TrialConfig] = field(default_factory=list)
+    swc_evidence: Optional[Dict] = None  # best SWC config's selection facts
+    best: Optional[Cell] = None
+    baseline: Optional[Dict] = None  # committed figure rate it must beat
+
+    def improvement_pct(self) -> Optional[float]:
+        if (self.best is None or self.best.confirmed_gbps is None
+                or not self.baseline or not self.baseline.get("gbps")):
+            return None
+        base = float(self.baseline["gbps"])
+        return round(100.0 * (self.best.confirmed_gbps - base) / base, 2)
+
+
+def _worker_config(cache: CompileCache, trace_packets: int, trace_seed: int,
+                   **kw) -> WorkerConfig:
+    return WorkerConfig(
+        cache_dir=cache.cache_dir, use_cache=cache.enabled,
+        trace_packets=trace_packets, trace_seed=trace_seed,
+        obs=obs_metrics.get_registry().enabled,
+        capture_spans=obs_trace.spans_armed(),
+        ledger=obs_ledger.is_enabled(), **kw)
+
+
+def _jobs_for(app: str, configs: List[TrialConfig], me_counts: List[int],
+              warmup: int, measure: int) -> List[SweepJob]:
+    return [SweepJob(app, c.level, "rate", n, warmup, measure,
+                     overrides=c.overrides_or_none(),
+                     target_gbps=c.target_gbps)
+            for c in configs for n in me_counts]
+
+
+def _cells_from(results, configs: List[TrialConfig]) -> Dict[Tuple, Dict]:
+    """(config sort_key, n_mes) -> {gbps, mode, swc} from a SweepResult."""
+    by_identity = {(c.level, c.overrides_or_none(), c.target_gbps): c
+                   for c in configs}
+    out: Dict[Tuple, Dict] = {}
+    for jr in results.jobs:
+        cfg = by_identity.get((jr.job.level, jr.job.overrides,
+                               jr.job.target_gbps))
+        if cfg is None:
+            continue
+        mode = (jr.fastforward or {}).get("mode")
+        out[cfg.sort_key() + (jr.job.n_mes,)] = {
+            "config": cfg, "n_mes": jr.job.n_mes, "gbps": jr.rate_gbps,
+            "mode": mode, "swc": jr.swc, "occupancy": jr.occupancy,
+        }
+    return out
+
+
+def committed_baseline(app: str, n_mes: int,
+                       out_dir: Optional[str] = None) -> Optional[Dict]:
+    """The committed figure file's default-SWC rate at ``n_mes`` -- the
+    number a tuned configuration has to beat."""
+    figure = FIG_BY_APP.get(app, app)
+    path = os.path.join(out_dir or repo_root(), "BENCH_%s.json" % figure)
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+        counts = list(data["me_counts"])
+        rate = float(data["rates"]["SWC"][counts.index(n_mes)])
+    except (OSError, ValueError, KeyError, IndexError, TypeError):
+        return None
+    return {"level": "SWC", "n_mes": n_mes, "gbps": rate,
+            "source": os.path.basename(path)}
+
+
+def run_tune(space: SearchSpace, n_jobs: int = 1,
+             cache: Optional[CompileCache] = None,
+             cache_dir: Optional[str] = None,
+             use_cache: Optional[bool] = None,
+             trace_packets: int = TRACE_PACKETS,
+             trace_seed: int = TRACE_SEED,
+             warmup: int = RATE_WARMUP,
+             measure: int = RATE_MEASURE,
+             baseline_dir: Optional[str] = None,
+             progress=None) -> TuneOutcome:
+    """Search ``space`` and return the learned outcome (no files
+    written; the CLI/report layer owns output)."""
+    say = progress or (lambda msg: None)
+    if cache is None:
+        cache = CompileCache(cache_dir, enabled=use_cache)
+    outcome = TuneOutcome(app=space.app, space=space)
+    me_counts = sorted(set(space.me_counts))
+    n_cells = len(me_counts)
+
+    # -- phase 1: seed compiles + period pruning ---------------------------------
+    gen0 = base_trials(space)
+    swc_level = next((lv for lv in space.levels if options_for(lv).swc), None)
+    seed_summaries: Dict[float, Dict] = {}
+    if swc_level is not None and space.check_periods:
+        for target in sorted(set(space.target_gbps)):
+            seed_cfg = TrialConfig(
+                swc_level,
+                (("swc_check_period", min(space.check_periods)),),
+                target)
+            result, _trace, _hit = cache.get_or_compile(
+                space.app, seed_cfg.level, trace_packets, trace_seed,
+                overrides=seed_cfg.overrides_or_none(),
+                target_gbps=seed_cfg.target_gbps)
+            summary = swc_summary(result)
+            if summary is not None:
+                seed_summaries[target] = summary
+                family = [t for t in gen0
+                          if t.level == swc_level and t.target_gbps == target]
+                others = [t for t in gen0 if t not in family]
+                kept, pruned = pruner.prune_clamped_periods(
+                    family, summary, n_cells)
+                outcome.pruned.extend(pruned)
+                gen0 = sorted(others + kept, key=TrialConfig.sort_key)
+    say("seed: %d generation-0 configurations (%d pruned)"
+        % (len(gen0), len(outcome.pruned)))
+
+    # -- phase 2: explore generation 0 (fast-forward) ----------------------------
+    explore_cfg = _worker_config(cache, trace_packets, trace_seed,
+                                 engine="fastforward")
+    results0 = run_sweep(_jobs_for(space.app, gen0, me_counts,
+                                   warmup, measure),
+                         n_procs=n_jobs, cache=cache, cfg=explore_cfg)
+    explored = _cells_from(results0, gen0)
+
+    # -- phase 3: refine the best SWC configuration with exclude variants --------
+    gen1: List[TrialConfig] = []
+    swc_gen0 = [c for c in gen0 if options_for(c.level).swc]
+    if swc_gen0:
+        def _gen0_rate(c: TrialConfig) -> float:
+            rates = [explored[c.sort_key() + (n,)]["gbps"]
+                     for n in me_counts if c.sort_key() + (n,) in explored]
+            return max(rates) if rates else float("-inf")
+
+        best_swc = min(swc_gen0,
+                       key=lambda c: (-_gen0_rate(c), c.sort_key()))
+        summary = next(
+            (explored[best_swc.sort_key() + (n,)]["swc"]
+             for n in me_counts
+             if explored.get(best_swc.sort_key() + (n,), {}).get("swc")),
+            None) or seed_summaries.get(best_swc.target_gbps)
+        if summary:
+            outcome.swc_evidence = summary
+            variants = exclude_trials(best_swc, summary)
+            gen1, pruned = pruner.prune_noop_excludes(
+                variants, summary, n_cells)
+            outcome.pruned.extend(pruned)
+            say("refine: %s -> %d exclude variants (%d pruned as no-ops)"
+                % (best_swc.label(), len(gen1), len(pruned)))
+    if gen1:
+        results1 = run_sweep(_jobs_for(space.app, gen1, me_counts,
+                                       warmup, measure),
+                             n_procs=n_jobs, cache=cache, cfg=explore_cfg)
+        explored.update(_cells_from(results1, gen1))
+
+    all_configs = sorted(gen0 + gen1, key=TrialConfig.sort_key)
+    for key in sorted(explored, key=repr):
+        info = explored[key]
+        outcome.cells.append(Cell(config=info["config"], n_mes=info["n_mes"],
+                                  explore_gbps=info["gbps"],
+                                  explore_mode=info["mode"]))
+
+    # -- phase 4: confirm the frontier cycle-accurately --------------------------
+    def best_rate(c: TrialConfig) -> float:
+        rates = [explored[c.sort_key() + (n,)]["gbps"] for n in me_counts
+                 if c.sort_key() + (n,) in explored]
+        return max(rates) if rates else float("-inf")
+
+    frontier = sorted(all_configs,
+                      key=lambda c: (-best_rate(c), c.sort_key()))
+    frontier = frontier[:max(1, space.confirm_top)]
+    outcome.frontier = frontier
+    say("confirm: %d configurations x MEs %s, cycle-accurate"
+        % (len(frontier), ",".join(map(str, me_counts))))
+
+    confirm_cfg = _worker_config(cache, trace_packets, trace_seed,
+                                 engine=None, profile=True)
+    alive: Dict[Tuple, List[int]] = {c.sort_key(): list(me_counts)
+                                     for c in frontier}
+    rates: Dict[Tuple, Dict[int, float]] = {c.sort_key(): {}
+                                            for c in frontier}
+    occup: Dict[Tuple, Dict[int, Optional[Dict]]] = {c.sort_key(): {}
+                                                     for c in frontier}
+    cell_index = {c.key(): c for c in outcome.cells}
+    for n in me_counts:
+        wave = [c for c in frontier if n in alive[c.sort_key()]]
+        if not wave:
+            continue
+        results = run_sweep(_jobs_for(space.app, wave, [n],
+                                      warmup, measure),
+                            n_procs=n_jobs, cache=cache, cfg=confirm_cfg)
+        for key, info in _cells_from(results, wave).items():
+            cfg = info["config"]
+            rates[cfg.sort_key()][n] = info["gbps"]
+            occup[cfg.sort_key()][n] = info["occupancy"]
+            cell = cell_index.get(key)
+            if cell is None:
+                cell = Cell(config=cfg, n_mes=n)
+                cell_index[key] = cell
+                outcome.cells.append(cell)
+            cell.confirmed_gbps = info["gbps"]
+        # Occupancy verdicts from this wave prune later waves.
+        for c in wave:
+            kept, pruned = pruner.prune_memory_bound_mes(
+                c, alive[c.sort_key()], rates[c.sort_key()],
+                occup[c.sort_key()])
+            alive[c.sort_key()] = kept
+            outcome.pruned.extend(pruned)
+
+    # -- select the winner -------------------------------------------------------
+    confirmed = [c for c in outcome.cells if c.confirmed_gbps is not None]
+    if confirmed:
+        outcome.best = min(
+            confirmed,
+            key=lambda c: (-c.confirmed_gbps, c.n_mes, c.config.sort_key()))
+        outcome.baseline = committed_baseline(space.app, outcome.best.n_mes,
+                                              baseline_dir)
+    outcome.cells.sort(key=Cell.key)
+    return outcome
